@@ -1,0 +1,50 @@
+//! Fig. 3 — workload memory-access heatmaps from IBS at the 4x rate.
+//!
+//! Time runs left to right (one column per epoch), physical address bottom
+//! to top; each cell shades by how many IBS samples landed in that address
+//! bucket during that epoch. Writes per-workload CSVs for plotting.
+
+use rayon::prelude::*;
+
+use tmprof_bench::harness::{run_workload, RunOptions};
+use tmprof_bench::heatmap::Heatmap;
+use tmprof_bench::scale::Scale;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let opts = RunOptions::new(scale).dense().with_rate(4).recording();
+
+    let runs: Vec<_> = WorkloadKind::ALL
+        .par_iter()
+        .map(|&kind| run_workload(kind, &opts))
+        .collect();
+
+    println!("Fig. 3 — heatmaps of memory accesses, IBS 4x sampling\n");
+    for run in &runs {
+        let hm = Heatmap::build(
+            run.heat_trace.iter().copied(),
+            run.epochs as usize,
+            run.total_frames,
+            24,
+        );
+        println!(
+            "== {} ({} samples over {} epochs) ==",
+            run.kind.name(),
+            hm.total(),
+            run.epochs
+        );
+        print!("{}", hm.render_ascii());
+        println!();
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!(
+                "fig3_heatmap_ibs_{}.csv",
+                run.kind.name().to_lowercase().replace('-', "_")
+            ));
+            if std::fs::write(&path, hm.to_csv()).is_ok() {
+                println!("CSV written to {}\n", path.display());
+            }
+        }
+    }
+}

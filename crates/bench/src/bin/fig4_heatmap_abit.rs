@@ -1,0 +1,53 @@
+//! Fig. 4 — workload memory-access heatmaps from A-bit profiling.
+//!
+//! Complementary view to Fig. 3: the A-bit scanner observes pages through
+//! the address-translation path (TLB misses refilling translations), so
+//! broad, lightly-touched footprints show up here even when sampled traces
+//! miss them. Same axes as Fig. 3.
+
+use rayon::prelude::*;
+
+use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
+use tmprof_bench::heatmap::Heatmap;
+use tmprof_bench::scale::Scale;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let opts = RunOptions::new(scale)
+        .with_mode(ProfMode::ABitOnly)
+        .recording();
+
+    let runs: Vec<_> = WorkloadKind::ALL
+        .par_iter()
+        .map(|&kind| run_workload(kind, &opts))
+        .collect();
+
+    println!("Fig. 4 — heatmaps of memory accesses, A-bit profiling\n");
+    for run in &runs {
+        let hm = Heatmap::build(
+            run.heat_abit.iter().copied(),
+            run.epochs as usize,
+            run.total_frames,
+            24,
+        );
+        println!(
+            "== {} ({} A-bit observations over {} epochs) ==",
+            run.kind.name(),
+            hm.total(),
+            run.epochs
+        );
+        print!("{}", hm.render_ascii());
+        println!();
+        let dir = std::path::Path::new("results");
+        if std::fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!(
+                "fig4_heatmap_abit_{}.csv",
+                run.kind.name().to_lowercase().replace('-', "_")
+            ));
+            if std::fs::write(&path, hm.to_csv()).is_ok() {
+                println!("CSV written to {}\n", path.display());
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal, dependency-free argument parsing for `tmpctl`.
+//!
+//! Hand-rolled (the workspace's external-crate budget is documented in
+//! DESIGN.md §6): subcommand + `--flag value` pairs + `--switch` booleans,
+//! with typed accessors and helpful errors.
+
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand plus options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    pub command: String,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Parse errors, rendered to the user as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// `--flag` given with no value where one is required.
+    MissingValue(String),
+    /// Positional argument where none is accepted.
+    UnexpectedPositional(String),
+    /// A value failed to parse.
+    BadValue {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no subcommand given (try `tmpctl help`)"),
+            ArgError::MissingValue(flag) => write!(f, "--{flag} requires a value"),
+            ArgError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected positional argument {arg:?}")
+            }
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag}: {value:?} is not a valid {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that take no value.
+const SWITCHES: [&str; 4] = ["thp", "pebs", "csv", "help"];
+
+/// Parse `args` (without the program name).
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {
+    let mut iter = args.into_iter().peekable();
+    let command = iter.next().ok_or(ArgError::NoCommand)?;
+    if command.starts_with('-') {
+        return Err(ArgError::NoCommand);
+    }
+    let mut options = HashMap::new();
+    let mut switches = Vec::new();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(ArgError::UnexpectedPositional(arg));
+        };
+        if let Some((k, v)) = name.split_once('=') {
+            options.insert(k.to_string(), v.to_string());
+        } else if SWITCHES.contains(&name) {
+            switches.push(name.to_string());
+        } else {
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(name.to_string()))?;
+            options.insert(name.to_string(), value);
+        }
+    }
+    Ok(Parsed {
+        command,
+        options,
+        switches,
+    })
+}
+
+impl Parsed {
+    /// String option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(|s| s.as_str())
+    }
+
+    /// Boolean switch.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|s| s == flag)
+    }
+
+    /// Typed option with a default.
+    pub fn get_u64(&self, flag: &str, default: u64) -> Result<u64, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected: "integer",
+            }),
+        }
+    }
+
+    /// Typed f64 option with a default.
+    pub fn get_f64(&self, flag: &str, default: f64) -> Result<f64, ArgError> {
+        match self.options.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: v.clone(),
+                expected: "number",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(args: &[&str]) -> Result<Parsed, ArgError> {
+        parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let parsed = p(&["profile", "--workload", "gups", "--epochs", "5"]).unwrap();
+        assert_eq!(parsed.command, "profile");
+        assert_eq!(parsed.get("workload"), Some("gups"));
+        assert_eq!(parsed.get_u64("epochs", 0).unwrap(), 5);
+    }
+
+    #[test]
+    fn equals_form_works() {
+        let parsed = p(&["profile", "--rate=8"]).unwrap();
+        assert_eq!(parsed.get_u64("rate", 4).unwrap(), 8);
+    }
+
+    #[test]
+    fn switches_need_no_value() {
+        let parsed = p(&["profile", "--thp", "--workload", "gups"]).unwrap();
+        assert!(parsed.switch("thp"));
+        assert!(!parsed.switch("pebs"));
+        assert_eq!(parsed.get("workload"), Some("gups"));
+    }
+
+    #[test]
+    fn missing_command_is_an_error() {
+        assert_eq!(p(&[]), Err(ArgError::NoCommand));
+        assert_eq!(p(&["--workload"]), Err(ArgError::NoCommand));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert_eq!(
+            p(&["profile", "--workload"]),
+            Err(ArgError::MissingValue("workload".into()))
+        );
+    }
+
+    #[test]
+    fn positional_rejected() {
+        assert!(matches!(
+            p(&["profile", "gups"]),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn bad_number_reports_flag_and_value() {
+        let err = p(&["profile", "--epochs", "many"])
+            .unwrap()
+            .get_u64("epochs", 1)
+            .unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("epochs"));
+        assert!(err.to_string().contains("many"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let parsed = p(&["profile"]).unwrap();
+        assert_eq!(parsed.get_u64("rate", 4).unwrap(), 4);
+        assert_eq!(parsed.get_f64("ratio", 0.125).unwrap(), 0.125);
+    }
+}

@@ -1,0 +1,23 @@
+//! `tmpctl` entry point; all logic lives (tested) in `tmprof_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match tmprof_cli::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("tmpctl: {e}");
+            std::process::exit(2);
+        }
+    };
+    if parsed.switch("help") {
+        print!("{}", tmprof_cli::commands::cmd_help());
+        return;
+    }
+    match tmprof_cli::dispatch(&parsed) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("tmpctl: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! `tmpctl` subcommand implementations.
+//!
+//! The paper's fourth contribution is "a profiling tool as an upgradable
+//! solution": this is that tool's command-line face over the simulated
+//! stack. Every subcommand returns its report as a `String` so the logic
+//! is unit-testable; `main` only prints.
+
+use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
+use tmprof_bench::heatmap::Heatmap;
+use tmprof_bench::scale::Scale;
+use tmprof_bench::table::{f, pct, Table};
+use tmprof_core::rank::RankSource;
+use tmprof_policy::hitrate::{replay_hitrate, ReplayPolicy, PAPER_RATIOS};
+use tmprof_workloads::spec::WorkloadKind;
+
+use crate::args::{ArgError, Parsed};
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+pub enum CliError {
+    Args(ArgError),
+    UnknownCommand(String),
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(fmt, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(fmt, "unknown command {c:?} (try `tmpctl help`)")
+            }
+            CliError::UnknownWorkload(w) => {
+                write!(fmt, "unknown workload {w:?} (try `tmpctl workloads`)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Resolve a workload name (case/punctuation-insensitive).
+pub fn workload_by_name(name: &str) -> Result<WorkloadKind, CliError> {
+    let needle = name.to_lowercase().replace(['-', '_'], "");
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_lowercase().replace('-', "") == needle)
+        .ok_or_else(|| CliError::UnknownWorkload(name.to_string()))
+}
+
+fn options_from(parsed: &Parsed) -> Result<(WorkloadKind, RunOptions), CliError> {
+    let kind = workload_by_name(parsed.get("workload").unwrap_or("gups"))?;
+    let mut scale = Scale::from_env();
+    scale.epochs = parsed.get_u64("epochs", scale.epochs as u64)? as u32;
+    scale.ops_per_epoch = parsed.get_u64("ops", scale.ops_per_epoch)?;
+    let mut opts = RunOptions::new(scale)
+        .dense()
+        .with_rate(parsed.get_u64("rate", 4)?);
+    if parsed.switch("thp") {
+        opts = opts.with_thp();
+    }
+    if parsed.switch("pebs") {
+        opts.pebs = true;
+    }
+    opts.mode = match parsed.get("mode").unwrap_or("both") {
+        "abit" => ProfMode::ABitOnly,
+        "trace" => ProfMode::TraceOnly,
+        "none" => ProfMode::None,
+        _ => ProfMode::Both,
+    };
+    Ok((kind, opts))
+}
+
+/// `tmpctl workloads` — list the Table III suite.
+pub fn cmd_workloads() -> String {
+    let mut table = Table::new(vec!["name", "suite", "paper input", "procs", "pages/proc"]);
+    for kind in WorkloadKind::ALL {
+        let cfg = kind.default_config();
+        table.row(vec![
+            kind.name().to_string(),
+            kind.suite().to_string(),
+            kind.paper_input().to_string(),
+            cfg.processes.to_string(),
+            cfg.footprint_pages.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// `tmpctl profile --workload W [--rate N] [--mode both|abit|trace] [--thp]`
+pub fn cmd_profile(parsed: &Parsed) -> Result<String, CliError> {
+    let (kind, opts) = options_from(parsed)?;
+    let run = run_workload(kind, &opts);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "profiled {} for {} epochs (IBS {}x{}{})\n\n",
+        kind.name(),
+        run.epochs,
+        opts.rate,
+        if opts.pebs { ", PEBS" } else { "" },
+        if opts.thp { ", THP" } else { "" },
+    ));
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["pages detected by A-bit".to_string(), run.detection.abit.to_string()]);
+    table.row(vec!["pages detected by IBS".to_string(), run.detection.trace.to_string()]);
+    table.row(vec!["both (same epoch)".to_string(), run.detection.both.to_string()]);
+    table.row(vec!["LLC misses".to_string(), run.counts.llc_misses.to_string()]);
+    table.row(vec!["page walks".to_string(), run.counts.ptw_walks.to_string()]);
+    table.row(vec![
+        "profiling overhead".to_string(),
+        pct(run.counts.profiling_overhead()),
+    ]);
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `tmpctl heatmap --workload W [--source ibs|abit] [--buckets N]`
+pub fn cmd_heatmap(parsed: &Parsed) -> Result<String, CliError> {
+    let (kind, opts) = options_from(parsed)?;
+    let opts = opts.recording();
+    let run = run_workload(kind, &opts);
+    let source = parsed.get("source").unwrap_or("ibs");
+    let points = if source == "abit" {
+        run.heat_abit.clone()
+    } else {
+        run.heat_trace.clone()
+    };
+    let buckets = parsed.get_u64("buckets", 24)? as usize;
+    let hm = Heatmap::build(points, run.epochs as usize, run.total_frames, buckets);
+    Ok(format!(
+        "{} heatmap of {} ({} observations)\n{}",
+        if source == "abit" { "A-bit" } else { "IBS" },
+        kind.name(),
+        hm.total(),
+        hm.render_ascii()
+    ))
+}
+
+/// `tmpctl hitrate --workload W [--ratio-denoms 8,16,...]`
+pub fn cmd_hitrate(parsed: &Parsed) -> Result<String, CliError> {
+    let (kind, opts) = options_from(parsed)?;
+    let run = run_workload(kind, &opts);
+    let footprint = run.log.footprint_pages().max(1);
+    let denoms: Vec<u32> = match parsed.get("ratio-denoms") {
+        Some(spec) => spec
+            .split(',')
+            .filter_map(|s| s.trim().parse().ok())
+            .collect(),
+        None => PAPER_RATIOS.to_vec(),
+    };
+    let mut table = Table::new(vec![
+        "tier1 ratio",
+        "Oracle/TMP",
+        "History/TMP",
+        "History/A-bit",
+        "History/IBS",
+        "First-touch",
+    ]);
+    for denom in denoms {
+        let cap = (footprint / denom as usize).max(1);
+        table.row(vec![
+            format!("1/{denom}"),
+            pct(replay_hitrate(&run.log, ReplayPolicy::Oracle, RankSource::Combined, cap)),
+            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::Combined, cap)),
+            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::ABit, cap)),
+            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::Trace, cap)),
+            pct(replay_hitrate(&run.log, ReplayPolicy::FirstTouch, RankSource::Combined, cap)),
+        ]);
+    }
+    Ok(format!(
+        "tier-1 hitrate for {} (footprint {} pages)\n{}",
+        kind.name(),
+        footprint,
+        table.render()
+    ))
+}
+
+/// `tmpctl emulate --workload W [--ratio N]` — §VI-C speedup for one
+/// workload (fast:slow = 1:N).
+pub fn cmd_emulate(parsed: &Parsed) -> Result<String, CliError> {
+    use tmprof_core::profiler::TmpConfig;
+    use tmprof_emul::emulator::EmulConfig;
+    use tmprof_emul::experiment::{emulation_machine, run_emulated, speedup, EmulPolicy};
+    use tmprof_sim::runner::OpStream;
+    use tmprof_sim::tlb::Pid;
+
+    let kind = workload_by_name(parsed.get("workload").unwrap_or("datacaching"))?;
+    let slow_ratio = parsed.get_u64("ratio", 15)?;
+    let scale = Scale::from_env();
+    let one = |policy: EmulPolicy| {
+        let cfg = tmprof_bench::harness::scaled_config(kind, &scale).scaled_footprint(1, 2);
+        let total = cfg.total_pages();
+        let t2 = total * 2;
+        let t1 = (t2 / slow_ratio).max(64);
+        let mut machine = emulation_machine(scale.cores, t1, t2, scale.base_period / 4);
+        let mut gens = cfg.spawn();
+        let pids: Vec<Pid> = (1..=gens.len() as Pid).collect();
+        for &pid in &pids {
+            machine.add_process(pid);
+        }
+        let mut streams: Vec<(Pid, &mut dyn OpStream)> = gens
+            .iter_mut()
+            .enumerate()
+            .map(|(i, g)| (pids[i], &mut **g as &mut dyn OpStream))
+            .collect();
+        run_emulated(
+            &mut machine,
+            &mut streams,
+            policy,
+            EmulConfig::default(),
+            TmpConfig::paper_defaults(scale.base_period),
+            scale.epochs,
+            scale.ops_per_epoch / 2,
+        )
+    };
+    let base = one(EmulPolicy::FirstTouch);
+    let opt = one(EmulPolicy::TmpHistory);
+    let mut table = Table::new(vec!["metric", "first-touch", "TMP+History"]);
+    table.row(vec![
+        "tier-1 hitrate".to_string(),
+        pct(base.tier1_hitrate),
+        pct(opt.tier1_hitrate),
+    ]);
+    table.row(vec![
+        "slow faults".to_string(),
+        base.slow_faults.to_string(),
+        opt.slow_faults.to_string(),
+    ]);
+    table.row(vec![
+        "migrations".to_string(),
+        base.migrations.to_string(),
+        opt.migrations.to_string(),
+    ]);
+    Ok(format!(
+        "NVM-emulated run of {} (fast:slow = 1:{slow_ratio})\n{}\nspeedup: {}x\n",
+        kind.name(),
+        table.render(),
+        f(speedup(&base, &opt), 3)
+    ))
+}
+
+/// `tmpctl help`
+pub fn cmd_help() -> String {
+    "tmpctl — the TMP tiered-memory profiler, on the simulated machine
+
+USAGE: tmpctl <command> [--flag value] [--switch]
+
+COMMANDS:
+  workloads                      list the Table III workload suite
+  profile   --workload W         profile one workload with TMP
+            [--rate N]           IBS rate multiplier (default 4)
+            [--mode both|abit|trace|none]
+            [--epochs N] [--ops N] [--thp] [--pebs]
+  heatmap   --workload W         ASCII access heatmap (Figs. 3-4)
+            [--source ibs|abit] [--buckets N]
+  hitrate   --workload W         Fig. 6-style hitrate replay
+            [--ratio-denoms 8,16,32]
+  emulate   --workload W         §VI-C speedup vs first-touch
+            [--ratio N]          slow:fast capacity ratio (default 15)
+  help                           this text
+
+Scale presets via TMPROF_SCALE=quick|default|full.
+"
+    .to_string()
+}
+
+/// Dispatch a parsed command line.
+pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
+    match parsed.command.as_str() {
+        "workloads" => Ok(cmd_workloads()),
+        "profile" => cmd_profile(parsed),
+        "heatmap" => cmd_heatmap(parsed),
+        "hitrate" => cmd_hitrate(parsed),
+        "emulate" => cmd_emulate(parsed),
+        "help" => Ok(cmd_help()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let parsed = parse(args.iter().map(|s| s.to_string()))?;
+        dispatch(&parsed)
+    }
+
+    #[test]
+    fn workloads_lists_all_eight() {
+        let out = cmd_workloads();
+        for kind in WorkloadKind::ALL {
+            assert!(out.contains(kind.name()), "{} missing", kind.name());
+        }
+    }
+
+    #[test]
+    fn workload_lookup_is_fuzzy() {
+        assert_eq!(workload_by_name("GUPS").unwrap(), WorkloadKind::Gups);
+        assert_eq!(
+            workload_by_name("data-caching").unwrap(),
+            WorkloadKind::DataCaching
+        );
+        assert_eq!(
+            workload_by_name("Data_Caching").unwrap(),
+            WorkloadKind::DataCaching
+        );
+        assert!(workload_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_reported() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let help = cmd_help();
+        for cmd in ["workloads", "profile", "heatmap", "hitrate", "emulate"] {
+            assert!(help.contains(cmd));
+        }
+    }
+
+    #[test]
+    fn profile_runs_end_to_end() {
+        std::env::set_var("TMPROF_SCALE", "quick");
+        let out = run(&["profile", "--workload", "gups", "--epochs", "2"]).unwrap();
+        assert!(out.contains("pages detected by A-bit"));
+        assert!(out.contains("profiling overhead"));
+    }
+
+    #[test]
+    fn heatmap_renders_ascii() {
+        std::env::set_var("TMPROF_SCALE", "quick");
+        let out = run(&["heatmap", "--workload", "lulesh", "--epochs", "2", "--buckets", "8"])
+            .unwrap()
+            .to_string();
+        assert!(out.contains("heatmap of LULESH"));
+        assert!(out.contains("time ->"));
+    }
+
+    #[test]
+    fn hitrate_covers_requested_ratios() {
+        std::env::set_var("TMPROF_SCALE", "quick");
+        let out = run(&[
+            "hitrate",
+            "--workload",
+            "webserving",
+            "--epochs",
+            "2",
+            "--ratio-denoms",
+            "8,64",
+        ])
+        .unwrap();
+        assert!(out.contains("1/8"));
+        assert!(out.contains("1/64"));
+        assert!(!out.contains("1/16"), "unrequested ratio printed");
+    }
+}

@@ -1,0 +1,21 @@
+//! # tmprof-cli — `tmpctl`, the user-facing profiling tool
+//!
+//! The paper's contribution (4) "introduces a profiling tool as an
+//! upgradable solution to improve performance in tiered memory systems".
+//! `tmpctl` is that tool's command-line face over the simulated stack:
+//! profile any Table III workload, render access heatmaps, replay hitrate
+//! grids, and run the §VI-C emulation — all from one binary.
+//!
+//! ```text
+//! tmpctl workloads
+//! tmpctl profile --workload xsbench --rate 8 --thp
+//! tmpctl heatmap --workload graph500 --source abit
+//! tmpctl hitrate --workload datacaching --ratio-denoms 8,32,128
+//! tmpctl emulate --workload webserving --ratio 15
+//! ```
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Parsed};
+pub use commands::{dispatch, CliError};

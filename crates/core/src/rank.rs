@@ -1,0 +1,207 @@
+//! Hotness ranking (paper §IV, step 1).
+//!
+//! TMP "aggregates memory-access statistics for each page from multiple
+//! profiling methods into a single hotness rank". Fig. 2 establishes that
+//! the A-bit and trace-sample populations are the same order of magnitude,
+//! so the rank is computed as their plain sum — no per-source weighting —
+//! and that rule is exposed here along with single-source variants used by
+//! the paper's "piecemeal" comparisons (Fig. 6: A-bit alone, IBS alone,
+//! TMP combined).
+
+use std::collections::HashMap;
+
+use tmprof_sim::machine::Machine;
+use tmprof_sim::pagedesc::{PageDescTable, PageKey};
+
+/// Which profiling statistics feed the rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RankSource {
+    /// A-bit observations only.
+    ABit,
+    /// Trace (IBS/PEBS) samples only.
+    Trace,
+    /// TMP: sum of both (the paper's rule).
+    Combined,
+}
+
+impl RankSource {
+    /// All sources, in Fig. 6's order.
+    pub const ALL: [RankSource; 3] = [RankSource::ABit, RankSource::Trace, RankSource::Combined];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RankSource::ABit => "A-bit",
+            RankSource::Trace => "IBS",
+            RankSource::Combined => "TMP",
+        }
+    }
+}
+
+/// A page with its hotness rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankedPage {
+    pub key: PageKey,
+    pub rank: u64,
+}
+
+/// Snapshot of one epoch's per-page profiler observations, keyed by packed
+/// [`PageKey`]. This is what the Fig. 6 replay stores per epoch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochProfile {
+    /// A-bit observations per page.
+    pub abit: HashMap<u64, u32>,
+    /// Trace samples per page.
+    pub trace: HashMap<u64, u32>,
+}
+
+impl EpochProfile {
+    /// Extract the current epoch's observations from the descriptor table.
+    pub fn capture(descs: &PageDescTable) -> Self {
+        let mut out = Self::default();
+        for (_pfn, d) in descs.iter_owned() {
+            let Some(owner) = d.owner else { continue };
+            let k = owner.pack();
+            if d.abit_epoch > 0 {
+                out.abit.insert(k, d.abit_epoch);
+            }
+            if d.trace_epoch > 0 {
+                out.trace.insert(k, d.trace_epoch);
+            }
+        }
+        out
+    }
+
+    /// Rank value of a page under `source`.
+    pub fn rank_of(&self, key: u64, source: RankSource) -> u64 {
+        let a = self.abit.get(&key).copied().unwrap_or(0) as u64;
+        let t = self.trace.get(&key).copied().unwrap_or(0) as u64;
+        match source {
+            RankSource::ABit => a,
+            RankSource::Trace => t,
+            RankSource::Combined => a + t,
+        }
+    }
+
+    /// All pages with a nonzero rank under `source`, hottest first.
+    /// Ties are broken by page key for determinism.
+    pub fn ranked(&self, source: RankSource) -> Vec<RankedPage> {
+        let mut keys: Vec<u64> = match source {
+            RankSource::ABit => self.abit.keys().copied().collect(),
+            RankSource::Trace => self.trace.keys().copied().collect(),
+            RankSource::Combined => {
+                let mut k: Vec<u64> = self.abit.keys().chain(self.trace.keys()).copied().collect();
+                k.sort_unstable();
+                k.dedup();
+                k
+            }
+        };
+        keys.sort_unstable();
+        let mut out: Vec<RankedPage> = keys
+            .into_iter()
+            .map(|k| RankedPage {
+                key: PageKey::unpack(k),
+                rank: self.rank_of(k, source),
+            })
+            .filter(|r| r.rank > 0)
+            .collect();
+        out.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.key.pack().cmp(&b.key.pack())));
+        out
+    }
+
+    /// Number of pages observed by each source and by both
+    /// (the per-epoch contribution to Table IV's columns).
+    pub fn detection_counts(&self) -> (usize, usize, usize) {
+        let both = self.abit.keys().filter(|k| self.trace.contains_key(k)).count();
+        (self.abit.len(), self.trace.len(), both)
+    }
+}
+
+/// Rank every owned page directly from the live descriptor table, hottest
+/// first (the policy-facing interface: "a simple list of pages ranked by
+/// hotness", §I).
+pub fn ranked_pages(machine: &Machine, source: RankSource) -> Vec<RankedPage> {
+    EpochProfile::capture(machine.descs()).ranked(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmprof_sim::addr::{Pfn, Vpn};
+
+    fn table_with(entries: &[(u64, u32, u32)]) -> PageDescTable {
+        // entries: (vpn, abit, trace) for pid 1, frame = vpn.
+        let mut t = PageDescTable::new(1024);
+        for &(vpn, abit, trace) in entries {
+            let key = PageKey { pid: 1, vpn: Vpn(vpn) };
+            t.set_owner(Pfn(vpn), key);
+            for _ in 0..abit {
+                t.bump_abit(Pfn(vpn), 0);
+            }
+            for _ in 0..trace {
+                t.bump_trace(Pfn(vpn), 0);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn combined_rank_is_plain_sum() {
+        let t = table_with(&[(1, 3, 5)]);
+        let p = EpochProfile::capture(&t);
+        let k = PageKey { pid: 1, vpn: Vpn(1) }.pack();
+        assert_eq!(p.rank_of(k, RankSource::ABit), 3);
+        assert_eq!(p.rank_of(k, RankSource::Trace), 5);
+        assert_eq!(p.rank_of(k, RankSource::Combined), 8);
+    }
+
+    #[test]
+    fn ranked_sorts_hottest_first_with_deterministic_ties() {
+        let t = table_with(&[(1, 1, 0), (2, 5, 0), (3, 1, 0)]);
+        let p = EpochProfile::capture(&t);
+        let r = p.ranked(RankSource::ABit);
+        assert_eq!(r[0].key.vpn, Vpn(2));
+        assert_eq!(r[1].key.vpn, Vpn(1), "tie broken by key");
+        assert_eq!(r[2].key.vpn, Vpn(3));
+    }
+
+    #[test]
+    fn single_source_rankings_ignore_other_source() {
+        let t = table_with(&[(1, 10, 0), (2, 0, 10)]);
+        let p = EpochProfile::capture(&t);
+        let abit = p.ranked(RankSource::ABit);
+        assert_eq!(abit.len(), 1);
+        assert_eq!(abit[0].key.vpn, Vpn(1));
+        let trace = p.ranked(RankSource::Trace);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].key.vpn, Vpn(2));
+        let combined = p.ranked(RankSource::Combined);
+        assert_eq!(combined.len(), 2);
+    }
+
+    #[test]
+    fn combined_sees_union_of_sources() {
+        let t = table_with(&[(1, 2, 0), (2, 0, 3), (3, 1, 1)]);
+        let p = EpochProfile::capture(&t);
+        let (a, tr, both) = p.detection_counts();
+        assert_eq!(a, 3 - 1); // pages 1 and 3
+        assert_eq!(tr, 2); // pages 2 and 3
+        assert_eq!(both, 1); // page 3
+        assert_eq!(p.ranked(RankSource::Combined).len(), 3);
+    }
+
+    #[test]
+    fn pages_without_observations_are_excluded() {
+        let mut t = table_with(&[(1, 1, 1)]);
+        t.set_owner(Pfn(9), PageKey { pid: 1, vpn: Vpn(9) });
+        let p = EpochProfile::capture(&t);
+        assert_eq!(p.ranked(RankSource::Combined).len(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RankSource::Combined.label(), "TMP");
+        assert_eq!(RankSource::ABit.label(), "A-bit");
+        assert_eq!(RankSource::Trace.label(), "IBS");
+    }
+}

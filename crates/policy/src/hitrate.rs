@@ -1,0 +1,293 @@
+//! Offline hitrate replay — the Fig. 6 evaluator.
+//!
+//! The paper computes tier-1 hitrate "based on the profiling data from the
+//! real hardware": per-epoch profiles are recorded during a run, and each
+//! policy × profiling-source × capacity combination is evaluated by
+//! replaying those records against the ground-truth access counts. No
+//! migration feedback is modelled (placement does not change what the
+//! workload touches), which is exactly the paper's methodology and lets one
+//! recorded run score every configuration.
+//!
+//! * **Oracle** selects by the *upcoming* epoch's profiled counts (future
+//!   knowledge of what the chosen monitoring source would report).
+//! * **History** selects by the *previous* epoch's profiled counts.
+//! * **First-touch** pins whichever pages were touched first, forever.
+//!
+//! Hitrate for an epoch = true memory accesses to tier-1-resident pages /
+//! all true memory accesses; the run-level number is access-weighted.
+
+use std::collections::{HashMap, HashSet};
+
+use tmprof_core::rank::{EpochProfile, RankSource};
+
+/// One recorded epoch: what the profilers saw + what really happened.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayEpoch {
+    /// Per-page profiler observations.
+    pub profile: EpochProfile,
+    /// True memory-level accesses per packed page key.
+    pub truth_mem: HashMap<u64, u64>,
+}
+
+/// A full recorded run.
+#[derive(Clone, Debug, Default)]
+pub struct ReplayLog {
+    pub epochs: Vec<ReplayEpoch>,
+    /// Pages in first-touch order (allocation order), for the baseline.
+    pub first_touch_order: Vec<u64>,
+}
+
+impl ReplayLog {
+    /// Total distinct pages that ever saw a memory access.
+    pub fn footprint_pages(&self) -> usize {
+        let mut set = HashSet::new();
+        for e in &self.epochs {
+            set.extend(e.truth_mem.keys().copied());
+        }
+        set.len()
+    }
+
+    /// Total memory accesses across the run.
+    pub fn total_accesses(&self) -> u64 {
+        self.epochs
+            .iter()
+            .map(|e| e.truth_mem.values().sum::<u64>())
+            .sum()
+    }
+}
+
+/// The policies Fig. 6 evaluates (plus the §VI-C baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReplayPolicy {
+    Oracle,
+    History,
+    FirstTouch,
+}
+
+impl ReplayPolicy {
+    /// Display label matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplayPolicy::Oracle => "Oracle",
+            ReplayPolicy::History => "History",
+            ReplayPolicy::FirstTouch => "First-touch",
+        }
+    }
+}
+
+/// Select the top-`capacity` pages from `profile` under `source`.
+fn top_pages(profile: &EpochProfile, source: RankSource, capacity: usize) -> HashSet<u64> {
+    profile
+        .ranked(source)
+        .into_iter()
+        .take(capacity)
+        .map(|r| r.key.pack())
+        .collect()
+}
+
+/// Evaluate one configuration over a recorded run. Returns the
+/// access-weighted tier-1 hitrate in `[0, 1]`.
+///
+/// `capacity` is the number of tier-1 page slots (the paper sweeps
+/// footprint/8 … footprint/128).
+pub fn replay_hitrate(
+    log: &ReplayLog,
+    policy: ReplayPolicy,
+    source: RankSource,
+    capacity: usize,
+) -> f64 {
+    let mut hits: u64 = 0;
+    let mut total: u64 = 0;
+    // First-touch residency is static: first `capacity` pages ever touched.
+    let first_touch_set: HashSet<u64> = log
+        .first_touch_order
+        .iter()
+        .take(capacity)
+        .copied()
+        .collect();
+    for (i, epoch) in log.epochs.iter().enumerate() {
+        let resident: HashSet<u64> = match policy {
+            ReplayPolicy::Oracle => top_pages(&epoch.profile, source, capacity),
+            ReplayPolicy::History => {
+                if i == 0 {
+                    // No history yet: first-touch placement for epoch 0.
+                    first_touch_set.clone()
+                } else {
+                    top_pages(&log.epochs[i - 1].profile, source, capacity)
+                }
+            }
+            ReplayPolicy::FirstTouch => first_touch_set.clone(),
+        };
+        for (&page, &accesses) in &epoch.truth_mem {
+            total += accesses;
+            if resident.contains(&page) {
+                hits += accesses;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+/// A row of the Fig. 6 grid: one policy × source at one capacity ratio.
+#[derive(Clone, Copy, Debug)]
+pub struct HitrateCell {
+    pub policy: ReplayPolicy,
+    pub source: RankSource,
+    /// Tier-1 capacity as footprint / `ratio_denominator`.
+    pub ratio_denominator: u32,
+    pub hitrate: f64,
+}
+
+/// Sweep the full Fig. 6 grid over a recorded run: policies × sources ×
+/// capacity ratios (1/8 … 1/128 by default).
+pub fn hitrate_grid(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
+    let footprint = log.footprint_pages().max(1);
+    let mut out = Vec::new();
+    for &denom in ratio_denominators {
+        let capacity = (footprint / denom as usize).max(1);
+        for policy in [ReplayPolicy::Oracle, ReplayPolicy::History] {
+            for source in RankSource::ALL {
+                out.push(HitrateCell {
+                    policy,
+                    source,
+                    ratio_denominator: denom,
+                    hitrate: replay_hitrate(log, policy, source, capacity),
+                });
+            }
+        }
+        out.push(HitrateCell {
+            policy: ReplayPolicy::FirstTouch,
+            source: RankSource::Combined,
+            ratio_denominator: denom,
+            hitrate: replay_hitrate(log, ReplayPolicy::FirstTouch, RankSource::Combined, capacity),
+        });
+    }
+    out
+}
+
+/// The paper's capacity sweep.
+pub const PAPER_RATIOS: [u32; 5] = [8, 16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmprof_sim::addr::Vpn;
+    use tmprof_sim::pagedesc::PageKey;
+
+    fn key(vpn: u64) -> u64 {
+        PageKey { pid: 1, vpn: Vpn(vpn) }.pack()
+    }
+
+    /// A run where page heat rotates each epoch: page e is hot in epoch e.
+    fn rotating_log(epochs: usize) -> ReplayLog {
+        let mut log = ReplayLog::default();
+        for e in 0..epochs {
+            let mut ep = ReplayEpoch::default();
+            // Hot page e: 100 accesses, seen by both profilers.
+            ep.truth_mem.insert(key(e as u64), 100);
+            ep.profile.abit.insert(key(e as u64), 10);
+            ep.profile.trace.insert(key(e as u64), 10);
+            // Background page 99: 10 accesses, every epoch.
+            ep.truth_mem.insert(key(99), 10);
+            ep.profile.abit.insert(key(99), 1);
+            log.epochs.push(ep);
+        }
+        log.first_touch_order = vec![key(0), key(99)];
+        log
+    }
+
+    #[test]
+    fn oracle_beats_history_on_rotating_heat() {
+        let log = rotating_log(10);
+        let oracle = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 1);
+        let history = replay_hitrate(&log, ReplayPolicy::History, RankSource::Combined, 1);
+        // Oracle always holds the epoch's hot page; History is one epoch
+        // behind and never catches the rotation.
+        assert!((oracle - 100.0 / 110.0).abs() < 1e-9, "oracle {oracle}");
+        assert!(history < 0.2, "history {history}");
+    }
+
+    #[test]
+    fn history_matches_oracle_on_stable_heat() {
+        let mut log = ReplayLog::default();
+        for _ in 0..10 {
+            let mut ep = ReplayEpoch::default();
+            ep.truth_mem.insert(key(1), 100);
+            ep.truth_mem.insert(key(2), 1);
+            ep.profile.trace.insert(key(1), 50);
+            ep.profile.trace.insert(key(2), 1);
+            log.epochs.push(ep);
+        }
+        log.first_touch_order = vec![key(2), key(1)];
+        let oracle = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Trace, 1);
+        let history = replay_hitrate(&log, ReplayPolicy::History, RankSource::Trace, 1);
+        // History loses only epoch 0 (first-touch had the cold page).
+        assert!(oracle > history);
+        assert!(history > 0.85);
+    }
+
+    #[test]
+    fn combined_source_beats_piecemeal_when_sources_split() {
+        // Two hot pages: one visible only to A-bit, one only to IBS.
+        let mut log = ReplayLog::default();
+        for _ in 0..5 {
+            let mut ep = ReplayEpoch::default();
+            ep.truth_mem.insert(key(1), 50);
+            ep.truth_mem.insert(key(2), 50);
+            ep.truth_mem.insert(key(3), 5);
+            ep.profile.abit.insert(key(1), 10);
+            ep.profile.trace.insert(key(2), 10);
+            ep.profile.abit.insert(key(3), 1);
+            log.epochs.push(ep);
+        }
+        log.first_touch_order = vec![key(3)];
+        let combined = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 2);
+        let abit_only = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::ABit, 2);
+        let ibs_only = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Trace, 2);
+        assert!(combined > abit_only, "{combined} vs {abit_only}");
+        assert!(combined > ibs_only, "{combined} vs {ibs_only}");
+        assert!((combined - 100.0 / 105.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_touch_is_static() {
+        let log = rotating_log(10);
+        let ft = replay_hitrate(&log, ReplayPolicy::FirstTouch, RankSource::Combined, 1);
+        // Holds page 0 forever: hits epoch 0's hot page only.
+        assert!((ft - 100.0 / 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_capacity_never_hurts() {
+        let log = rotating_log(8);
+        let small = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 1);
+        let large = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 2);
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn grid_covers_all_cells() {
+        let log = rotating_log(4);
+        let grid = hitrate_grid(&log, &PAPER_RATIOS);
+        // 5 ratios × (2 policies × 3 sources + 1 baseline).
+        assert_eq!(grid.len(), 5 * 7);
+        for cell in &grid {
+            assert!((0.0..=1.0).contains(&cell.hitrate));
+        }
+    }
+
+    #[test]
+    fn empty_log_scores_zero() {
+        let log = ReplayLog::default();
+        assert_eq!(
+            replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 4),
+            0.0
+        );
+        assert_eq!(log.footprint_pages(), 0);
+        assert_eq!(log.total_accesses(), 0);
+    }
+}

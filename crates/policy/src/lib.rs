@@ -1,0 +1,28 @@
+//! # tmprof-policy — tiered-memory placement (paper §IV)
+//!
+//! Epoch-based page placement over the TMP profiler:
+//!
+//! * [`policies`] — the Table II policies: History (previous epoch's
+//!   hottest pages) and the first-come-first-allocate baseline; Oracle
+//!   lives in the offline evaluator below, as in the paper.
+//! * [`mover`] — the page mover: batched promotions/demotions with one TLB
+//!   shootdown per process per epoch and a per-page copy cost.
+//! * [`epoch`] — the live loop: run ops → close TMP epoch → select → move,
+//!   while recording a replay log.
+//! * [`hitrate`] — the offline Fig. 6 evaluator: replay recorded profiles
+//!   against ground truth for every policy × source × capacity cell.
+//! * [`write_aware`] — extension: CLOCK-DWF-style write-biased placement
+//!   over the PML dirty-page log (the paper cites but does not evaluate
+//!   this family).
+
+pub mod epoch;
+pub mod hitrate;
+pub mod mover;
+pub mod policies;
+pub mod write_aware;
+
+pub use epoch::{EpochMetrics, EpochRunner};
+pub use hitrate::{hitrate_grid, replay_hitrate, ReplayLog, ReplayPolicy, PAPER_RATIOS};
+pub use mover::{MoveReport, MoverConfig, PageMover};
+pub use policies::{FirstTouchPolicy, HistoryPolicy, Placement, PlacementPolicy};
+pub use write_aware::WriteAwarePolicy;

@@ -1,0 +1,295 @@
+//! The page mover (paper §IV, step 3).
+//!
+//! Implements policy decisions by physically relocating pages between tiers
+//! while processes run: promote the nominated hot pages into tier 1,
+//! demoting current tier-1 residents that fell off the list to make room.
+//! Virtual addresses never change; migrated translations are invalidated
+//! with *one batched shootdown per process per epoch*, the cost structure
+//! the paper's epoch-based policies are designed around.
+
+use std::collections::HashSet;
+
+use tmprof_sim::addr::Vpn;
+use tmprof_sim::machine::{Machine, MigrateError};
+use tmprof_sim::pagedesc::PageKey;
+use tmprof_sim::tier::Tier;
+use tmprof_sim::tlb::Pid;
+
+use crate::policies::Placement;
+
+/// Cost model for migrations, in cycles.
+#[derive(Clone, Copy, Debug)]
+pub struct MoverConfig {
+    /// Per-page copy cost (4 KiB copy + bookkeeping). The paper's
+    /// emulation uses 50 µs per migration; at the simulator's nominal
+    /// 4 GHz this is 200k cycles.
+    pub per_page_cycles: u64,
+}
+
+impl Default for MoverConfig {
+    fn default() -> Self {
+        Self {
+            per_page_cycles: 200_000,
+        }
+    }
+}
+
+/// What one epoch's move batch did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MoveReport {
+    /// Pages promoted into tier 1.
+    pub promoted: u64,
+    /// Pages demoted to tier 2.
+    pub demoted: u64,
+    /// Nominations skipped because they were already resident in tier 1.
+    pub already_placed: u64,
+    /// Nominations skipped because the page is no longer mapped.
+    pub unmapped: u64,
+    /// Cycles charged for copies and shootdowns.
+    pub cycles: u64,
+}
+
+/// The epoch-batched page mover.
+pub struct PageMover {
+    cfg: MoverConfig,
+    total: MoveReport,
+}
+
+impl PageMover {
+    /// New mover.
+    pub fn new(cfg: MoverConfig) -> Self {
+        Self {
+            cfg,
+            total: MoveReport::default(),
+        }
+    }
+
+    /// Lifetime totals.
+    pub fn totals(&self) -> MoveReport {
+        self.total
+    }
+
+    /// Apply a placement: make tier 1 hold (as nearly as capacity allows)
+    /// exactly the nominated pages.
+    ///
+    /// Pages nominated but already in tier 1 stay put. Tier-1 residents not
+    /// nominated are demoted lazily — only as needed to free frames for
+    /// promotions — which keeps migration traffic proportional to the
+    /// working-set *change*, not its size.
+    pub fn apply(&mut self, machine: &mut Machine, placement: &Placement) -> MoveReport {
+        let mut report = MoveReport::default();
+        let nominated: HashSet<u64> = placement.tier1_pages.iter().copied().collect();
+
+        // Current tier-1 residents, coldest-first for demotion order.
+        let mut residents: Vec<(u64, u64)> = machine
+            .descs()
+            .iter_owned()
+            .filter(|(pfn, _)| machine.memory().tier_of(*pfn) == Tier::Tier1)
+            .filter_map(|(_, d)| d.owner.map(|o| (o.pack(), d.epoch_rank())))
+            .collect();
+        // Sorted hottest-first so that `pop()` on the demotion queue always
+        // yields the coldest remaining resident.
+        residents.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+        let resident_set: HashSet<u64> = residents.iter().map(|&(k, _)| k).collect();
+        let mut demotion_queue: Vec<u64> = residents
+            .iter()
+            .map(|&(k, _)| k)
+            .filter(|k| !nominated.contains(k))
+            .collect();
+
+        // Pages to move in, hottest first (placement order).
+        let mut shootdowns: std::collections::HashMap<Pid, Vec<Vpn>> = Default::default();
+        for &key in &placement.tier1_pages {
+            if resident_set.contains(&key) {
+                report.already_placed += 1;
+                continue;
+            }
+            let page = PageKey::unpack(key);
+            // Ensure a free tier-1 frame: demote the coldest non-nominated
+            // resident if the tier is full.
+            if machine.frames().free_in(Tier::Tier1) == 0 {
+                let Some(victim_key) = demotion_queue.pop() else {
+                    break; // tier 1 entirely occupied by nominated pages
+                };
+                let victim = PageKey::unpack(victim_key);
+                match machine.migrate_page(victim.pid, victim.vpn, Tier::Tier2) {
+                    Ok(_) => {
+                        report.demoted += 1;
+                        report.cycles += self.cfg.per_page_cycles;
+                        shootdowns.entry(victim.pid).or_default().push(victim.vpn);
+                    }
+                    Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
+                        report.unmapped += 1;
+                    }
+                    Err(e) => panic!("demotion failed: {e}"),
+                }
+            }
+            match machine.migrate_page(page.pid, page.vpn, Tier::Tier1) {
+                Ok(_) => {
+                    report.promoted += 1;
+                    report.cycles += self.cfg.per_page_cycles;
+                    shootdowns.entry(page.pid).or_default().push(page.vpn);
+                }
+                Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
+                    report.unmapped += 1;
+                }
+                Err(MigrateError::AlreadyThere) => {
+                    report.already_placed += 1;
+                }
+                Err(MigrateError::NoFrames(_)) => break,
+            }
+        }
+
+        // One batched shootdown per process for everything that moved.
+        for (pid, vpns) in shootdowns {
+            report.cycles += machine.shootdown(pid, &vpns, false);
+        }
+        self.total.promoted += report.promoted;
+        self.total.demoted += report.demoted;
+        self.total.already_placed += report.already_placed;
+        self.total.unmapped += report.unmapped;
+        self.total.cycles += report.cycles;
+        report
+    }
+}
+
+impl Default for PageMover {
+    fn default() -> Self {
+        Self::new(MoverConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmprof_sim::prelude::*;
+
+    fn machine(t1: u64, t2: u64) -> Machine {
+        let mut m = Machine::new(MachineConfig::scaled(1, t1, t2, 1 << 20));
+        m.add_process(1);
+        m
+    }
+
+    fn touch_n(m: &mut Machine, n: u64) {
+        for i in 0..n {
+            m.touch(0, 1, VirtAddr(i * PAGE_SIZE));
+        }
+    }
+
+    fn key(vpn: u64) -> u64 {
+        PageKey { pid: 1, vpn: Vpn(vpn) }.pack()
+    }
+
+    #[test]
+    fn promotes_nominated_tier2_pages() {
+        let mut m = machine(4, 16);
+        touch_n(&mut m, 8); // pages 0-3 tier1, 4-7 tier2
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(5), key(6)],
+            },
+        );
+        // Tier 1 was full (4 residents): two demotions make room.
+        assert_eq!(report.promoted, 2);
+        assert_eq!(report.demoted, 2);
+        assert_eq!(m.tier_of_page(1, Vpn(5)), Some(Tier::Tier1));
+        assert_eq!(m.tier_of_page(1, Vpn(6)), Some(Tier::Tier1));
+    }
+
+    #[test]
+    fn nominated_residents_stay_put() {
+        let mut m = machine(4, 16);
+        touch_n(&mut m, 8);
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(0), key(1)],
+            },
+        );
+        assert_eq!(report.promoted, 0);
+        assert_eq!(report.demoted, 0);
+        assert_eq!(report.already_placed, 2);
+    }
+
+    #[test]
+    fn demotes_coldest_resident_first() {
+        let mut m = machine(2, 16);
+        touch_n(&mut m, 4); // 0,1 in tier1
+        // Make page 1 hot, page 0 cold.
+        let pfn1 = m.frame_of(1, Vpn(1)).unwrap();
+        m.descs_mut().bump_trace(pfn1, 0);
+        m.descs_mut().bump_trace(pfn1, 0);
+        let mut mover = PageMover::default();
+        mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(3)],
+            },
+        );
+        assert_eq!(m.tier_of_page(1, Vpn(0)), Some(Tier::Tier2), "cold page evicted");
+        assert_eq!(m.tier_of_page(1, Vpn(1)), Some(Tier::Tier1), "hot page kept");
+        assert_eq!(m.tier_of_page(1, Vpn(3)), Some(Tier::Tier1));
+    }
+
+    #[test]
+    fn unmapped_nominations_are_counted_not_fatal() {
+        let mut m = machine(4, 16);
+        touch_n(&mut m, 2);
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(99)],
+            },
+        );
+        assert_eq!(report.unmapped, 1);
+        assert_eq!(report.promoted, 0);
+    }
+
+    #[test]
+    fn empty_placement_is_free() {
+        let mut m = machine(4, 16);
+        touch_n(&mut m, 8);
+        let mut mover = PageMover::default();
+        let report = mover.apply(&mut m, &Placement::default());
+        assert_eq!(report, MoveReport::default());
+    }
+
+    #[test]
+    fn migration_cost_accumulates_in_totals() {
+        let mut m = machine(2, 16);
+        touch_n(&mut m, 4);
+        let mut mover = PageMover::new(MoverConfig { per_page_cycles: 1000 });
+        mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(2), key(3)],
+            },
+        );
+        let t = mover.totals();
+        assert_eq!(t.promoted, 2);
+        assert_eq!(t.demoted, 2);
+        // 4 copies + 1 batched shootdown (1 core).
+        let ipi = m.config().latency.shootdown_ipi;
+        assert_eq!(t.cycles, 4 * 1000 + ipi);
+    }
+
+    #[test]
+    fn capacity_saturation_stops_promotion_gracefully() {
+        let mut m = machine(2, 16);
+        touch_n(&mut m, 6);
+        let mut mover = PageMover::default();
+        // Nominate 4 pages for a 2-frame tier; only 2 can be resident.
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(2), key(3), key(4), key(5)],
+            },
+        );
+        assert_eq!(report.promoted + report.already_placed, 2);
+        assert_eq!(m.frames().free_in(Tier::Tier1), 0);
+    }
+}

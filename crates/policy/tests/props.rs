@@ -1,0 +1,132 @@
+//! Property-based tests for placement policies and the replay evaluator.
+
+
+use proptest::prelude::*;
+
+use tmprof_core::rank::{EpochProfile, RankSource};
+use tmprof_policy::hitrate::{replay_hitrate, ReplayEpoch, ReplayLog, ReplayPolicy};
+use tmprof_policy::policies::{HistoryPolicy, PlacementPolicy};
+
+fn arbitrary_log() -> impl Strategy<Value = ReplayLog> {
+    let epoch = (
+        prop::collection::hash_map(0u64..200, 1u32..50, 0..40),
+        prop::collection::hash_map(0u64..200, 1u32..50, 0..40),
+        prop::collection::hash_map(0u64..200, 1u64..100, 1..60),
+    )
+        .prop_map(|(abit, trace, truth_mem)| ReplayEpoch {
+            profile: EpochProfile { abit, trace },
+            truth_mem,
+        });
+    (
+        prop::collection::vec(epoch, 1..8),
+        prop::collection::btree_set(0u64..200, 1..100),
+    )
+        .prop_map(|(epochs, ft)| ReplayLog {
+            epochs,
+            first_touch_order: ft.into_iter().collect(),
+        })
+}
+
+proptest! {
+    #[test]
+    fn hitrate_is_always_a_probability(
+        log in arbitrary_log(),
+        capacity in 0usize..300,
+    ) {
+        for policy in [ReplayPolicy::Oracle, ReplayPolicy::History, ReplayPolicy::FirstTouch] {
+            for source in RankSource::ALL {
+                let h = replay_hitrate(&log, policy, source, capacity);
+                prop_assert!((0.0..=1.0).contains(&h), "{policy:?}/{source:?}: {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_hitrate_is_monotone_in_capacity(log in arbitrary_log()) {
+        let mut prev = -1.0f64;
+        for capacity in [0usize, 1, 2, 5, 10, 50, 200, 500] {
+            let h = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, capacity);
+            prop_assert!(h + 1e-12 >= prev, "capacity {capacity}: {h} < {prev}");
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn zero_capacity_oracle_scores_zero(log in arbitrary_log()) {
+        prop_assert_eq!(
+            replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn infinite_capacity_oracle_hits_everything_profiled(log in arbitrary_log()) {
+        // With unbounded capacity the Oracle holds every profiled page, so
+        // the only misses are pages the profiling source never saw.
+        let h = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Combined, usize::MAX);
+        // Manually compute the upper bound.
+        let mut hits = 0u64;
+        let mut total = 0u64;
+        for e in &log.epochs {
+            for (k, &v) in &e.truth_mem {
+                total += v;
+                if e.profile.rank_of(*k, RankSource::Combined) > 0 {
+                    hits += v;
+                }
+            }
+        }
+        let expect = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+        prop_assert!((h - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn history_selection_is_bounded_and_sorted(
+        profile in (
+            prop::collection::hash_map(0u64..300, 1u32..50, 0..50),
+            prop::collection::hash_map(0u64..300, 1u32..50, 0..50),
+        ).prop_map(|(abit, trace)| EpochProfile { abit, trace }),
+        capacity in 0usize..100,
+    ) {
+        let mut policy = HistoryPolicy::new(RankSource::Combined);
+        let placement = policy.select(&profile, capacity);
+        prop_assert!(placement.tier1_pages.len() <= capacity);
+        // No duplicates.
+        let set: std::collections::HashSet<u64> =
+            placement.tier1_pages.iter().copied().collect();
+        prop_assert_eq!(set.len(), placement.tier1_pages.len());
+        // Hottest-first ordering.
+        let ranks: Vec<u64> = placement
+            .tier1_pages
+            .iter()
+            .map(|&k| profile.rank_of(k, RankSource::Combined))
+            .collect();
+        for w in ranks.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        // Nothing outside the selection ranks strictly higher than the
+        // lowest-ranked selected page (top-k property).
+        if placement.tier1_pages.len() == capacity && capacity > 0 {
+            let cutoff = *ranks.last().unwrap();
+            for k in profile.abit.keys().chain(profile.trace.keys()) {
+                if !set.contains(k) {
+                    prop_assert!(profile.rank_of(*k, RankSource::Combined) <= cutoff);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_touch_hitrate_ignores_profiles(log in arbitrary_log(), capacity in 0usize..100) {
+        let a = replay_hitrate(&log, ReplayPolicy::FirstTouch, RankSource::ABit, capacity);
+        let b = replay_hitrate(&log, ReplayPolicy::FirstTouch, RankSource::Combined, capacity);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hits_never_exceed_accesses(log in arbitrary_log(), capacity in 0usize..100) {
+        // Weighted-average property: the run hitrate lies within the range
+        // of per-epoch hitrates.
+        let h = replay_hitrate(&log, ReplayPolicy::Oracle, RankSource::Trace, capacity);
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+}

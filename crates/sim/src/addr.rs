@@ -1,0 +1,197 @@
+//! Address-space primitives: virtual/physical addresses, page and cache-line
+//! geometry.
+//!
+//! The simulator models the conventional x86-64 layout the paper assumes:
+//! 4 KiB base pages, 64 B cache lines, 48-bit virtual addresses translated by
+//! a 4-level radix page table. All quantities are newtypes so that virtual
+//! and physical values cannot be mixed up by accident.
+
+/// log2 of the base page size (4 KiB).
+pub const PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+/// Mask selecting the offset-within-page bits.
+pub const PAGE_OFFSET_MASK: u64 = PAGE_SIZE - 1;
+
+/// log2 of the cache-line size (64 B).
+pub const LINE_SHIFT: u32 = 6;
+/// Cache-line size in bytes.
+pub const LINE_SIZE: u64 = 1 << LINE_SHIFT;
+
+/// Number of virtual-address bits implemented (x86-64 4-level paging).
+pub const VA_BITS: u32 = 48;
+/// Bits of VPN index consumed by each radix level (512-entry tables).
+pub const RADIX_BITS: u32 = 9;
+/// Number of radix levels in the simulated page table.
+pub const RADIX_LEVELS: usize = 4;
+
+/// A virtual byte address in some process's address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u64);
+
+/// A physical byte address (identifies a location in some memory tier).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+/// A virtual page number: `VirtAddr >> PAGE_SHIFT`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Vpn(pub u64);
+
+/// A physical frame number: `PhysAddr >> PAGE_SHIFT`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pfn(pub u64);
+
+impl VirtAddr {
+    /// The page containing this address.
+    #[inline]
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & PAGE_OFFSET_MASK
+    }
+
+    /// The cache-line-aligned address (used as the tag unit by caches).
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 >> LINE_SHIFT
+    }
+
+    /// True if the address is representable in the simulated 48-bit space.
+    #[inline]
+    pub fn is_canonical(self) -> bool {
+        self.0 < (1u64 << VA_BITS)
+    }
+}
+
+impl PhysAddr {
+    /// The frame containing this address.
+    #[inline]
+    pub fn pfn(self) -> Pfn {
+        Pfn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the frame.
+    #[inline]
+    pub fn page_offset(self) -> u64 {
+        self.0 & PAGE_OFFSET_MASK
+    }
+
+    /// The cache-line index of this address (global line number).
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 >> LINE_SHIFT
+    }
+}
+
+impl Vpn {
+    /// First byte address of the page.
+    #[inline]
+    pub fn base(self) -> VirtAddr {
+        VirtAddr(self.0 << PAGE_SHIFT)
+    }
+
+    /// Radix-table index of this VPN at `level` (level 0 is the leaf).
+    ///
+    /// Matches x86-64: level 3 indexes the PML4, level 0 the PT.
+    #[inline]
+    pub fn radix_index(self, level: usize) -> usize {
+        debug_assert!(level < RADIX_LEVELS);
+        ((self.0 >> (RADIX_BITS as usize * level)) & ((1 << RADIX_BITS) - 1)) as usize
+    }
+}
+
+impl Pfn {
+    /// First byte address of the frame.
+    #[inline]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+/// Combine a frame with a page offset into a full physical address.
+#[inline]
+pub fn phys_addr(pfn: Pfn, offset: u64) -> PhysAddr {
+    debug_assert!(offset < PAGE_SIZE);
+    PhysAddr((pfn.0 << PAGE_SHIFT) | offset)
+}
+
+impl core::fmt::Debug for VirtAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "va:{:#x}", self.0)
+    }
+}
+impl core::fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pa:{:#x}", self.0)
+    }
+}
+impl core::fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "vpn:{:#x}", self.0)
+    }
+}
+impl core::fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pfn:{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_geometry_is_4k() {
+        assert_eq!(PAGE_SIZE, 4096);
+        assert_eq!(LINE_SIZE, 64);
+        assert_eq!(PAGE_SIZE / LINE_SIZE, 64);
+    }
+
+    #[test]
+    fn vpn_and_offset_roundtrip() {
+        let va = VirtAddr(0x7fff_dead_beef);
+        let reassembled = (va.vpn().0 << PAGE_SHIFT) | va.page_offset();
+        assert_eq!(reassembled, va.0);
+    }
+
+    #[test]
+    fn pfn_and_offset_roundtrip() {
+        let pa = PhysAddr(0x1_2345_6789);
+        assert_eq!(phys_addr(pa.pfn(), pa.page_offset()), pa);
+    }
+
+    #[test]
+    fn radix_indices_cover_48_bits() {
+        // A VPN with all index fields at their maximum decodes per level.
+        let vpn = Vpn((1u64 << (VA_BITS - PAGE_SHIFT)) - 1);
+        for level in 0..RADIX_LEVELS {
+            assert_eq!(vpn.radix_index(level), 511, "level {level}");
+        }
+    }
+
+    #[test]
+    fn radix_index_extracts_correct_field() {
+        // Set only the level-2 index to 5.
+        let vpn = Vpn(5 << (RADIX_BITS * 2));
+        assert_eq!(vpn.radix_index(0), 0);
+        assert_eq!(vpn.radix_index(1), 0);
+        assert_eq!(vpn.radix_index(2), 5);
+        assert_eq!(vpn.radix_index(3), 0);
+    }
+
+    #[test]
+    fn line_number_strides_every_64_bytes() {
+        assert_eq!(VirtAddr(0).line(), VirtAddr(63).line());
+        assert_ne!(VirtAddr(63).line(), VirtAddr(64).line());
+    }
+
+    #[test]
+    fn canonical_check() {
+        assert!(VirtAddr((1 << 48) - 1).is_canonical());
+        assert!(!VirtAddr(1 << 48).is_canonical());
+    }
+}

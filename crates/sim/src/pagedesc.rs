@@ -1,0 +1,220 @@
+//! Page descriptors: the per-frame metadata the paper's kernel module adds.
+//!
+//! TMP "stores the data of a page by extending its page descriptor (PD)
+//! structure" and uses `phys_to_page()` to find the PD from a physical
+//! address (§III-B-1). We model the same thing: a flat array indexed by PFN,
+//! each element accumulating the A-bit observations and trace samples that
+//! the two profiling drivers deliver, plus a backlink to the logical page
+//! (`rmap`-style) so migration can move stats with the page.
+
+use crate::addr::{Pfn, Vpn};
+use crate::tlb::Pid;
+
+/// A stable identity for a logical page: (process, virtual page).
+///
+/// Physical frames change under migration; the logical page is what policies
+/// reason about across epochs. Packs into a `u64` for use as a dense map key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageKey {
+    pub pid: Pid,
+    pub vpn: Vpn,
+}
+
+impl PageKey {
+    /// Pack into a single word. VPNs fit in 36 bits (48-bit VA, 4 KiB pages).
+    #[inline]
+    pub fn pack(self) -> u64 {
+        debug_assert!(self.vpn.0 < (1 << 36));
+        ((self.pid as u64) << 36) | self.vpn.0
+    }
+
+    /// Reverse of [`PageKey::pack`].
+    #[inline]
+    pub fn unpack(raw: u64) -> Self {
+        Self {
+            pid: (raw >> 36) as Pid,
+            vpn: Vpn(raw & ((1 << 36) - 1)),
+        }
+    }
+}
+
+/// Per-frame profiling state (the extended `struct page`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageDesc {
+    /// Which logical page currently occupies this frame (reverse mapping).
+    pub owner: Option<PageKey>,
+    /// A-bit observations accumulated in the current epoch.
+    pub abit_epoch: u32,
+    /// Trace (IBS/PEBS) samples accumulated in the current epoch.
+    pub trace_epoch: u32,
+    /// Lifetime A-bit observations.
+    pub abit_total: u64,
+    /// Lifetime trace samples.
+    pub trace_total: u64,
+    /// Epoch index when either counter was last bumped.
+    pub last_touched_epoch: u32,
+}
+
+impl PageDesc {
+    /// The paper's rank rule (§IV step 1 + Fig. 2): the two sample
+    /// populations are the same order of magnitude, so hotness is their sum.
+    #[inline]
+    pub fn epoch_rank(&self) -> u64 {
+        self.abit_epoch as u64 + self.trace_epoch as u64
+    }
+
+    /// Zero the per-epoch counters (called at each epoch horizon).
+    #[inline]
+    pub fn reset_epoch(&mut self) {
+        self.abit_epoch = 0;
+        self.trace_epoch = 0;
+    }
+}
+
+/// The machine-wide descriptor array (`mem_map` analogue).
+pub struct PageDescTable {
+    descs: Vec<PageDesc>,
+}
+
+impl PageDescTable {
+    /// One descriptor per physical frame.
+    pub fn new(total_frames: u64) -> Self {
+        Self {
+            descs: vec![PageDesc::default(); total_frames as usize],
+        }
+    }
+
+    /// Number of frames covered.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// True if the table covers no frames.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// `phys_to_page()`: descriptor for a frame.
+    #[inline]
+    pub fn get(&self, pfn: Pfn) -> &PageDesc {
+        &self.descs[pfn.0 as usize]
+    }
+
+    /// Mutable `phys_to_page()`.
+    #[inline]
+    pub fn get_mut(&mut self, pfn: Pfn) -> &mut PageDesc {
+        &mut self.descs[pfn.0 as usize]
+    }
+
+    /// Record that frame `pfn` now backs logical page `key`.
+    pub fn set_owner(&mut self, pfn: Pfn, key: PageKey) {
+        self.get_mut(pfn).owner = Some(key);
+    }
+
+    /// Record an A-bit observation against a frame.
+    #[inline]
+    pub fn bump_abit(&mut self, pfn: Pfn, epoch: u32) {
+        let d = self.get_mut(pfn);
+        d.abit_epoch = d.abit_epoch.saturating_add(1);
+        d.abit_total += 1;
+        d.last_touched_epoch = epoch;
+    }
+
+    /// Record a trace sample against a frame.
+    #[inline]
+    pub fn bump_trace(&mut self, pfn: Pfn, epoch: u32) {
+        let d = self.get_mut(pfn);
+        d.trace_epoch = d.trace_epoch.saturating_add(1);
+        d.trace_total += 1;
+        d.last_touched_epoch = epoch;
+    }
+
+    /// Move a page's descriptor state from `from` to `to` (page migration
+    /// carries the accumulated statistics with the data).
+    pub fn migrate(&mut self, from: Pfn, to: Pfn) {
+        let src = std::mem::take(self.get_mut(from));
+        *self.get_mut(to) = src;
+    }
+
+    /// Reset per-epoch counters on every descriptor (epoch horizon).
+    pub fn reset_epoch(&mut self) {
+        for d in &mut self.descs {
+            d.reset_epoch();
+        }
+    }
+
+    /// Iterate over (frame, descriptor) pairs with a live owner.
+    pub fn iter_owned(&self) -> impl Iterator<Item = (Pfn, &PageDesc)> + '_ {
+        self.descs
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.owner.is_some())
+            .map(|(i, d)| (Pfn(i as u64), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let key = PageKey {
+            pid: 12345,
+            vpn: Vpn(0xF_FFFF_FFFF),
+        };
+        assert_eq!(PageKey::unpack(key.pack()), key);
+    }
+
+    #[test]
+    fn pack_distinct_for_distinct_pages() {
+        let a = PageKey { pid: 1, vpn: Vpn(2) };
+        let b = PageKey { pid: 2, vpn: Vpn(1) };
+        assert_ne!(a.pack(), b.pack());
+    }
+
+    #[test]
+    fn bump_accumulates_epoch_and_total() {
+        let mut t = PageDescTable::new(4);
+        t.bump_abit(Pfn(2), 0);
+        t.bump_abit(Pfn(2), 0);
+        t.bump_trace(Pfn(2), 0);
+        let d = t.get(Pfn(2));
+        assert_eq!(d.abit_epoch, 2);
+        assert_eq!(d.trace_epoch, 1);
+        assert_eq!(d.epoch_rank(), 3);
+        assert_eq!(d.abit_total, 2);
+    }
+
+    #[test]
+    fn reset_epoch_keeps_totals() {
+        let mut t = PageDescTable::new(2);
+        t.bump_trace(Pfn(0), 0);
+        t.reset_epoch();
+        let d = t.get(Pfn(0));
+        assert_eq!(d.trace_epoch, 0);
+        assert_eq!(d.trace_total, 1);
+    }
+
+    #[test]
+    fn migrate_moves_stats_and_clears_source() {
+        let mut t = PageDescTable::new(4);
+        let key = PageKey { pid: 7, vpn: Vpn(9) };
+        t.set_owner(Pfn(1), key);
+        t.bump_abit(Pfn(1), 3);
+        t.migrate(Pfn(1), Pfn(3));
+        assert_eq!(t.get(Pfn(3)).owner, Some(key));
+        assert_eq!(t.get(Pfn(3)).abit_epoch, 1);
+        assert_eq!(t.get(Pfn(1)).owner, None);
+        assert_eq!(t.get(Pfn(1)).abit_epoch, 0);
+    }
+
+    #[test]
+    fn iter_owned_skips_free_frames() {
+        let mut t = PageDescTable::new(8);
+        t.set_owner(Pfn(1), PageKey { pid: 1, vpn: Vpn(1) });
+        t.set_owner(Pfn(5), PageKey { pid: 1, vpn: Vpn(2) });
+        let frames: Vec<Pfn> = t.iter_owned().map(|(p, _)| p).collect();
+        assert_eq!(frames, vec![Pfn(1), Pfn(5)]);
+    }
+}

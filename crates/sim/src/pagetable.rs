@@ -1,0 +1,673 @@
+//! A 4-level radix page table, one per simulated process.
+//!
+//! This is the structure both hardware and software in the paper contend
+//! over: the hardware page-table walker fills TLB entries from it (setting
+//! A/D bits as it goes), while the A-bit profiler periodically performs an
+//! `mm_walk`-style traversal that read-and-clears the A bits.
+//!
+//! The in-memory representation is a real radix tree (512-way, 4 levels,
+//! lazily allocated) rather than a hash map, because the *cost* of the
+//! software walk — proportional to the number of resident leaf tables and
+//! PTEs — is one of the quantities the paper measures (Table I: "the more
+//! PIDs are covered, the more overhead there is in traversing PTEs").
+
+use crate::addr::{Vpn, RADIX_BITS, RADIX_LEVELS};
+use crate::pte::Pte;
+#[allow(unused_imports)]
+use crate::pte::bits as _pte_bits;
+
+const FANOUT: usize = 1 << RADIX_BITS;
+
+/// Pages covered by one level-1 (2 MiB) huge mapping.
+pub const HUGE_SPAN: u64 = FANOUT as u64;
+
+/// A leaf table: 512 PTEs covering a 2 MiB-aligned virtual range.
+struct LeafTable {
+    ptes: Box<[Pte; FANOUT]>,
+    present: u16,
+}
+
+impl LeafTable {
+    fn new() -> Self {
+        Self {
+            ptes: Box::new([Pte::NONE; FANOUT]),
+            present: 0,
+        }
+    }
+}
+
+/// An interior node at level 1..=3.
+struct Interior {
+    children: Vec<Option<Node>>,
+    live: u16,
+}
+
+enum Node {
+    Interior(Box<Interior>),
+    Leaf(Box<LeafTable>),
+    /// A level-1 leaf: one PTE (PS bit set) covering 512 contiguous pages
+    /// backed by 512 contiguous frames. A/D bits live at this granularity —
+    /// the THP coarsening the paper's BadgerTrap discussion alludes to.
+    Huge(Pte),
+}
+
+impl Interior {
+    fn new() -> Self {
+        let mut children = Vec::with_capacity(FANOUT);
+        children.resize_with(FANOUT, || None);
+        Self { children, live: 0 }
+    }
+}
+
+/// Statistics describing a software traversal of the table, used by the
+/// profiler cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalkFootprint {
+    /// Leaf PTEs visited (present entries only).
+    pub ptes_visited: u64,
+    /// Leaf tables touched.
+    pub leaf_tables: u64,
+    /// Interior nodes touched (including the root).
+    pub interior_nodes: u64,
+}
+
+/// A per-process 4-level radix page table.
+pub struct PageTable {
+    root: Interior,
+    mapped_pages: u64,
+}
+
+impl PageTable {
+    /// Create an empty address space.
+    pub fn new() -> Self {
+        Self {
+            root: Interior::new(),
+            mapped_pages: 0,
+        }
+    }
+
+    /// Number of present leaf mappings.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_pages
+    }
+
+    /// Install a 2 MiB huge mapping: `base` must be 512-page aligned and
+    /// `pte` must have the PS bit set and point at a 512-aligned run of
+    /// frames. Panics if 4 KiB mappings already exist in the range.
+    pub fn map_huge(&mut self, base: Vpn, pte: Pte) {
+        assert!(base.0 % HUGE_SPAN == 0, "huge base {base:?} not aligned");
+        assert!(pte.present() && pte.huge(), "huge PTE must be present+PS");
+        let mut node = &mut self.root;
+        for level in (2..RADIX_LEVELS).rev() {
+            let idx = base.radix_index(level);
+            let slot = &mut node.children[idx];
+            if slot.is_none() {
+                *slot = Some(Node::Interior(Box::new(Interior::new())));
+                node.live += 1;
+            }
+            node = match slot.as_mut().unwrap() {
+                Node::Interior(next) => next,
+                _ => unreachable!("leaf at interior level"),
+            };
+        }
+        let idx = base.radix_index(1);
+        let slot = &mut node.children[idx];
+        match slot {
+            None => {
+                *slot = Some(Node::Huge(pte));
+                node.live += 1;
+                self.mapped_pages += HUGE_SPAN;
+            }
+            Some(Node::Huge(old)) => {
+                *old = pte;
+            }
+            Some(_) => panic!("4 KiB mappings already occupy the huge range at {base:?}"),
+        }
+    }
+
+    /// Remove a huge mapping, returning its PTE.
+    pub fn unmap_huge(&mut self, base: Vpn) -> Option<Pte> {
+        assert!(base.0 % HUGE_SPAN == 0);
+        let mut node = &mut self.root;
+        for level in (2..RADIX_LEVELS).rev() {
+            node = match node.children[base.radix_index(level)].as_mut()? {
+                Node::Interior(next) => next,
+                _ => return None,
+            };
+        }
+        let slot = &mut node.children[base.radix_index(1)];
+        match slot {
+            Some(Node::Huge(pte)) => {
+                let old = *pte;
+                *slot = None;
+                node.live -= 1;
+                self.mapped_pages -= HUGE_SPAN;
+                Some(old)
+            }
+            _ => None,
+        }
+    }
+
+    /// Install (or replace) the translation for `vpn`.
+    pub fn map(&mut self, vpn: Vpn, pte: Pte) {
+        debug_assert!(pte.present(), "mapping a non-present PTE");
+        debug_assert!(!pte.huge(), "use map_huge for PS mappings");
+        let leaf = Self::ensure_leaf(&mut self.root, vpn);
+        let slot = &mut leaf.ptes[vpn.radix_index(0)];
+        if !slot.present() {
+            leaf.present += 1;
+            self.mapped_pages += 1;
+        }
+        *slot = pte;
+    }
+
+    /// Remove the translation for `vpn`, returning the prior entry.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let leaf = Self::find_leaf_mut(&mut self.root, vpn)?;
+        let slot = &mut leaf.ptes[vpn.radix_index(0)];
+        if !slot.present() {
+            return None;
+        }
+        let old = *slot;
+        *slot = Pte::NONE;
+        leaf.present -= 1;
+        self.mapped_pages -= 1;
+        Some(old)
+    }
+
+    /// Read the entry for `vpn` (present or not-present). For a huge
+    /// mapping this returns the covering level-1 PTE (check [`Pte::huge`];
+    /// its `pfn` is the run base — use [`PageTable::resolve`] for the
+    /// per-page frame).
+    pub fn get(&self, vpn: Vpn) -> Pte {
+        let mut node = &self.root;
+        for level in (1..RADIX_LEVELS).rev() {
+            match &node.children[vpn.radix_index(level)] {
+                Some(Node::Interior(next)) => node = next,
+                Some(Node::Leaf(leaf)) => return leaf.ptes[vpn.radix_index(0)],
+                Some(Node::Huge(pte)) => return *pte,
+                None => return Pte::NONE,
+            }
+        }
+        Pte::NONE
+    }
+
+    /// Resolve `vpn` to its backing frame, handling huge-page offsets.
+    pub fn resolve(&self, vpn: Vpn) -> Option<crate::addr::Pfn> {
+        let pte = self.get(vpn);
+        if !pte.present() {
+            return None;
+        }
+        Some(if pte.huge() {
+            crate::addr::Pfn(pte.pfn().0 + (vpn.0 & (HUGE_SPAN - 1)))
+        } else {
+            pte.pfn()
+        })
+    }
+
+    /// Mutable access to the entry for `vpn`, if a mapping exists for it.
+    /// For huge mappings this is the covering level-1 PTE — A/D/poison
+    /// bits are shared by all 512 pages, exactly the THP granularity.
+    ///
+    /// This is the primitive the hardware walker uses to set A/D bits and
+    /// the software drivers use to poison/clear entries.
+    pub fn entry_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
+        let mut node = &mut self.root;
+        for level in (2..RADIX_LEVELS).rev() {
+            node = match node.children[vpn.radix_index(level)].as_mut()? {
+                Node::Interior(next) => next,
+                _ => return None,
+            };
+        }
+        match node.children[vpn.radix_index(1)].as_mut()? {
+            Node::Leaf(leaf) => {
+                let pte = &mut leaf.ptes[vpn.radix_index(0)];
+                Some(pte)
+            }
+            Node::Huge(pte) => Some(pte),
+            Node::Interior(_) => None,
+        }
+    }
+
+    fn ensure_leaf(root: &mut Interior, vpn: Vpn) -> &mut LeafTable {
+        let mut node = root;
+        for level in (2..RADIX_LEVELS).rev() {
+            let idx = vpn.radix_index(level);
+            let slot = &mut node.children[idx];
+            if slot.is_none() {
+                *slot = Some(Node::Interior(Box::new(Interior::new())));
+                node.live += 1;
+            }
+            node = match slot.as_mut().unwrap() {
+                Node::Interior(next) => next,
+                _ => unreachable!("leaf at interior level"),
+            };
+        }
+        let idx = vpn.radix_index(1);
+        let slot = &mut node.children[idx];
+        if slot.is_none() {
+            *slot = Some(Node::Leaf(Box::new(LeafTable::new())));
+            node.live += 1;
+        }
+        match slot.as_mut().unwrap() {
+            Node::Leaf(leaf) => leaf,
+            Node::Huge(_) => panic!("range already covered by a huge mapping"),
+            Node::Interior(_) => unreachable!("interior at leaf level"),
+        }
+    }
+
+    fn find_leaf_mut(root: &mut Interior, vpn: Vpn) -> Option<&mut LeafTable> {
+        let mut node = root;
+        for level in (2..RADIX_LEVELS).rev() {
+            node = match node.children[vpn.radix_index(level)].as_mut()? {
+                Node::Interior(next) => next,
+                _ => return None,
+            };
+        }
+        match node.children[vpn.radix_index(1)].as_mut()? {
+            Node::Leaf(leaf) => Some(leaf),
+            _ => None,
+        }
+    }
+
+    /// `mm_walk`: visit every *present* PTE in ascending VPN order, with
+    /// mutable access (the A-bit driver's `gather_a_history` callback runs
+    /// here). Returns the traversal footprint for cost accounting.
+    pub fn walk_present(&mut self, mut visit: impl FnMut(Vpn, &mut Pte)) -> WalkFootprint {
+        let mut fp = WalkFootprint {
+            interior_nodes: 1,
+            ..Default::default()
+        };
+        Self::walk_node(&mut self.root, 0, &mut fp, &mut visit);
+        fp
+    }
+
+    fn walk_node(
+        node: &mut Interior,
+        prefix: u64,
+        fp: &mut WalkFootprint,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) {
+        for (idx, child) in node.children.iter_mut().enumerate() {
+            let Some(child) = child else { continue };
+            let child_prefix = (prefix << RADIX_BITS) | idx as u64;
+            match child {
+                Node::Interior(next) => {
+                    fp.interior_nodes += 1;
+                    Self::walk_node(next, child_prefix, fp, visit);
+                }
+                Node::Leaf(leaf) => {
+                    fp.leaf_tables += 1;
+                    for (pi, pte) in leaf.ptes.iter_mut().enumerate() {
+                        if pte.present() {
+                            fp.ptes_visited += 1;
+                            let vpn = Vpn((child_prefix << RADIX_BITS) | pi as u64);
+                            visit(vpn, pte);
+                        }
+                    }
+                }
+                Node::Huge(pte) => {
+                    // One PTE for the whole 2 MiB range: visited once.
+                    fp.ptes_visited += 1;
+                    let vpn = Vpn(child_prefix << RADIX_BITS);
+                    visit(vpn, pte);
+                }
+            }
+        }
+    }
+
+    /// Budgeted, resumable `mm_walk`: visit up to `limit` present PTEs in
+    /// ascending VPN order, starting at `start` (inclusive). Returns the
+    /// traversal footprint and the VPN to resume from next time (`None`
+    /// when the walk reached the end of the address space).
+    ///
+    /// This is the primitive behind TMP's "restrictive mode" (§III-B-4,
+    /// optimization 2): bounding the PTEs visited per scan keeps A-bit
+    /// overhead stable regardless of footprint, at the cost of needing
+    /// several intervals to cover a huge address space.
+    pub fn walk_present_bounded(
+        &mut self,
+        start: Vpn,
+        limit: u64,
+        mut visit: impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        let mut fp = WalkFootprint {
+            interior_nodes: 1,
+            ..Default::default()
+        };
+        let mut resume = None;
+        if limit > 0 {
+            Self::walk_node_bounded(
+                &mut self.root,
+                RADIX_LEVELS - 1,
+                0,
+                start,
+                limit,
+                &mut fp,
+                &mut resume,
+                &mut visit,
+            );
+        } else {
+            resume = Some(start);
+        }
+        (fp, resume)
+    }
+
+    /// Recursive helper for the bounded walk. Returns true when the budget
+    /// is exhausted (`resume` then holds the next VPN to visit).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_node_bounded(
+        node: &mut Interior,
+        level: usize,
+        prefix: u64,
+        start: Vpn,
+        limit: u64,
+        fp: &mut WalkFootprint,
+        resume: &mut Option<Vpn>,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> bool {
+        // Skip subtrees wholly below the start VPN.
+        let start_idx_at = |lvl: usize| start.radix_index(lvl);
+        for (idx, child) in node.children.iter_mut().enumerate() {
+            // Prune children strictly before the start prefix at this level.
+            let child_prefix = (prefix << RADIX_BITS) | idx as u64;
+            let span_bits = RADIX_BITS as usize * level;
+            let child_first_vpn = child_prefix << span_bits;
+            let child_last_vpn = child_first_vpn + (1u64 << span_bits) - 1;
+            if child_last_vpn < start.0 {
+                continue;
+            }
+            let _ = start_idx_at;
+            let Some(child) = child else { continue };
+            match child {
+                Node::Interior(next) => {
+                    fp.interior_nodes += 1;
+                    if Self::walk_node_bounded(
+                        next,
+                        level - 1,
+                        child_prefix,
+                        start,
+                        limit,
+                        fp,
+                        resume,
+                        visit,
+                    ) {
+                        return true;
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    fp.leaf_tables += 1;
+                    for (pi, pte) in leaf.ptes.iter_mut().enumerate() {
+                        let vpn = Vpn((child_prefix << RADIX_BITS) | pi as u64);
+                        if vpn.0 < start.0 || !pte.present() {
+                            continue;
+                        }
+                        if fp.ptes_visited >= limit {
+                            *resume = Some(vpn);
+                            return true;
+                        }
+                        fp.ptes_visited += 1;
+                        visit(vpn, pte);
+                    }
+                }
+                Node::Huge(pte) => {
+                    let vpn = Vpn(child_prefix << RADIX_BITS);
+                    if fp.ptes_visited >= limit {
+                        *resume = Some(vpn);
+                        return true;
+                    }
+                    fp.ptes_visited += 1;
+                    visit(vpn, pte);
+                }
+            }
+        }
+        false
+    }
+
+    /// Collect the VPNs of all present mappings (test/diagnostic helper).
+    pub fn mapped_vpns(&mut self) -> Vec<Vpn> {
+        let mut out = Vec::with_capacity(self.mapped_pages as usize);
+        self.walk_present(|vpn, _| out.push(vpn));
+        out
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Pfn;
+
+    #[test]
+    fn empty_table_returns_none() {
+        let pt = PageTable::new();
+        assert!(!pt.get(Vpn(0)).present());
+        assert!(!pt.get(Vpn(0xFFFF_FFFF)).present());
+        assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn map_then_get() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0x1234), Pte::new(Pfn(0x99), true));
+        let pte = pt.get(Vpn(0x1234));
+        assert!(pte.present());
+        assert_eq!(pte.pfn(), Pfn(0x99));
+        assert_eq!(pt.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn remap_does_not_double_count() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(7), Pte::new(Pfn(1), true));
+        pt.map(Vpn(7), Pte::new(Pfn(2), true));
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.get(Vpn(7)).pfn(), Pfn(2));
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(5), Pte::new(Pfn(50), false));
+        let old = pt.unmap(Vpn(5)).unwrap();
+        assert_eq!(old.pfn(), Pfn(50));
+        assert!(!pt.get(Vpn(5)).present());
+        assert_eq!(pt.mapped_pages(), 0);
+        assert!(pt.unmap(Vpn(5)).is_none());
+    }
+
+    #[test]
+    fn entries_in_distant_regions_coexist() {
+        let mut pt = PageTable::new();
+        // Spread across different PML4 entries.
+        let vpns = [Vpn(0), Vpn(1 << 27), Vpn(5 << 27 | 123), Vpn((1 << 36) - 1)];
+        for (i, &vpn) in vpns.iter().enumerate() {
+            pt.map(vpn, Pte::new(Pfn(i as u64 + 1), true));
+        }
+        for (i, &vpn) in vpns.iter().enumerate() {
+            assert_eq!(pt.get(vpn).pfn(), Pfn(i as u64 + 1), "{vpn:?}");
+        }
+    }
+
+    #[test]
+    fn entry_mut_mutates_in_place() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(10), Pte::new(Pfn(3), true));
+        pt.entry_mut(Vpn(10)).unwrap().set(crate::pte::bits::A);
+        assert!(pt.get(Vpn(10)).accessed());
+    }
+
+    #[test]
+    fn walk_visits_in_vpn_order_and_counts() {
+        let mut pt = PageTable::new();
+        let mut expect: Vec<Vpn> = [900u64, 3, 512 * 7 + 1, 512, 77]
+            .iter()
+            .map(|&v| Vpn(v))
+            .collect();
+        for &vpn in &expect {
+            pt.map(vpn, Pte::new(Pfn(vpn.0), true));
+        }
+        expect.sort();
+        let mut seen = Vec::new();
+        let fp = pt.walk_present(|vpn, _| seen.push(vpn));
+        assert_eq!(seen, expect);
+        assert_eq!(fp.ptes_visited, 5);
+        assert!(fp.leaf_tables >= 2);
+    }
+
+    #[test]
+    fn walk_can_clear_a_bits() {
+        let mut pt = PageTable::new();
+        for v in 0..100 {
+            let mut pte = Pte::new(Pfn(v), true);
+            if v % 2 == 0 {
+                pte.set(crate::pte::bits::A);
+            }
+            pt.map(Vpn(v), pte);
+        }
+        let mut accessed = 0;
+        pt.walk_present(|_, pte| {
+            if pte.test_and_clear_accessed() {
+                accessed += 1;
+            }
+        });
+        assert_eq!(accessed, 50);
+        let mut still = 0;
+        pt.walk_present(|_, pte| {
+            if pte.accessed() {
+                still += 1;
+            }
+        });
+        assert_eq!(still, 0);
+    }
+
+    #[test]
+    fn bounded_walk_respects_budget_and_resumes() {
+        let mut pt = PageTable::new();
+        for v in 0..100u64 {
+            pt.map(Vpn(v * 3), Pte::new(Pfn(v), true));
+        }
+        let mut seen = Vec::new();
+        let (fp, resume) = pt.walk_present_bounded(Vpn(0), 40, |vpn, _| seen.push(vpn));
+        assert_eq!(fp.ptes_visited, 40);
+        assert_eq!(seen.len(), 40);
+        assert_eq!(seen[39], Vpn(39 * 3));
+        let resume = resume.expect("more pages remain");
+        assert_eq!(resume, Vpn(40 * 3));
+        // Resume picks up exactly where the budget ran out.
+        let mut rest = Vec::new();
+        let (fp2, resume2) = pt.walk_present_bounded(resume, 1000, |vpn, _| rest.push(vpn));
+        assert_eq!(fp2.ptes_visited, 60);
+        assert_eq!(rest[0], Vpn(40 * 3));
+        assert_eq!(resume2, None, "walk completed");
+    }
+
+    #[test]
+    fn bounded_walk_spanning_leaf_tables() {
+        let mut pt = PageTable::new();
+        // Pages in two distant leaf tables.
+        for v in [0u64, 1, 2, 512 * 9, 512 * 9 + 1, 1 << 30] {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        let mut seen = Vec::new();
+        let (_, resume) = pt.walk_present_bounded(Vpn(1), 3, |vpn, _| seen.push(vpn));
+        assert_eq!(seen, vec![Vpn(1), Vpn(2), Vpn(512 * 9)]);
+        assert_eq!(resume, Some(Vpn(512 * 9 + 1)));
+        let mut rest = Vec::new();
+        let (_, resume2) = pt.walk_present_bounded(resume.unwrap(), 10, |vpn, _| rest.push(vpn));
+        assert_eq!(rest, vec![Vpn(512 * 9 + 1), Vpn(1 << 30)]);
+        assert_eq!(resume2, None);
+    }
+
+    #[test]
+    fn bounded_walk_zero_budget_visits_nothing() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(1), Pte::new(Pfn(1), true));
+        let (fp, resume) = pt.walk_present_bounded(Vpn(0), 0, |_, _| panic!("visited"));
+        assert_eq!(fp.ptes_visited, 0);
+        assert_eq!(resume, Some(Vpn(0)));
+    }
+
+    #[test]
+    fn huge_mapping_roundtrip() {
+        let mut pt = PageTable::new();
+        let mut pte = Pte::new(Pfn(8192), true);
+        pte.set(crate::pte::bits::PS);
+        pt.map_huge(Vpn(1024), pte);
+        assert_eq!(pt.mapped_pages(), HUGE_SPAN);
+        // Every covered page resolves to its offset frame.
+        assert_eq!(pt.resolve(Vpn(1024)), Some(Pfn(8192)));
+        assert_eq!(pt.resolve(Vpn(1024 + 300)), Some(Pfn(8192 + 300)));
+        assert_eq!(pt.resolve(Vpn(1023)), None);
+        assert_eq!(pt.resolve(Vpn(1024 + 512)), None);
+        // Unmap returns the PTE and clears the range.
+        let old = pt.unmap_huge(Vpn(1024)).unwrap();
+        assert!(old.huge());
+        assert_eq!(pt.mapped_pages(), 0);
+        assert_eq!(pt.resolve(Vpn(1024)), None);
+    }
+
+    #[test]
+    fn huge_entry_mut_is_shared_across_the_span() {
+        let mut pt = PageTable::new();
+        let mut pte = Pte::new(Pfn(0), true);
+        pte.set(crate::pte::bits::PS);
+        pt.map_huge(Vpn(0), pte);
+        pt.entry_mut(Vpn(77)).unwrap().set(crate::pte::bits::A);
+        assert!(pt.get(Vpn(400)).accessed(), "A bit is span-wide");
+    }
+
+    #[test]
+    fn walk_visits_huge_entry_once() {
+        let mut pt = PageTable::new();
+        let mut pte = Pte::new(Pfn(0), true);
+        pte.set(crate::pte::bits::PS);
+        pt.map_huge(Vpn(512), pte);
+        pt.map(Vpn(5), Pte::new(Pfn(5), true));
+        let mut seen = Vec::new();
+        let fp = pt.walk_present(|vpn, p| seen.push((vpn, p.huge())));
+        assert_eq!(fp.ptes_visited, 2);
+        assert_eq!(seen, vec![(Vpn(5), false), (Vpn(512), true)]);
+    }
+
+    #[test]
+    fn bounded_walk_counts_huge_entry_as_one_pte() {
+        let mut pt = PageTable::new();
+        for r in 0..4u64 {
+            let mut pte = Pte::new(Pfn(r * 512), true);
+            pte.set(crate::pte::bits::PS);
+            pt.map_huge(Vpn(r * 512), pte);
+        }
+        let mut seen = 0;
+        let (fp, resume) = pt.walk_present_bounded(Vpn(0), 2, |_, _| seen += 1);
+        assert_eq!(fp.ptes_visited, 2);
+        assert_eq!(seen, 2);
+        assert_eq!(resume, Some(Vpn(1024)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn unaligned_huge_base_panics() {
+        let mut pt = PageTable::new();
+        let mut pte = Pte::new(Pfn(0), true);
+        pte.set(crate::pte::bits::PS);
+        pt.map_huge(Vpn(3), pte);
+    }
+
+    #[test]
+    fn walk_footprint_scales_with_density() {
+        // Dense region: 4096 contiguous pages -> 8 leaf tables.
+        let mut pt = PageTable::new();
+        for v in 0..4096u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        let fp = pt.walk_present(|_, _| {});
+        assert_eq!(fp.ptes_visited, 4096);
+        assert_eq!(fp.leaf_tables, 8);
+    }
+}

@@ -1,0 +1,125 @@
+//! Ground-truth access accounting.
+//!
+//! The simulator — unlike real hardware — can afford omniscience: it records
+//! exactly how many times each logical page is touched, both at the
+//! reference level (every load/store) and at the memory level (LLC misses).
+//! This is what the paper's Oracle policy "assumes knowledge of" (Table II),
+//! and what the Fig. 6 hitrate replay uses as the denominator. None of this
+//! information is visible to the profilers, which see only their own sampled
+//! views.
+
+use std::collections::HashMap;
+
+use crate::pagedesc::PageKey;
+
+/// Per-epoch, per-page true access counts.
+#[derive(Clone, Debug, Default)]
+pub struct EpochTruth {
+    /// Memory-level accesses (LLC misses) per packed [`PageKey`].
+    pub mem_accesses: HashMap<u64, u64>,
+    /// All references (cache hits included) per packed [`PageKey`].
+    pub references: HashMap<u64, u64>,
+}
+
+impl EpochTruth {
+    /// Total memory-level accesses this epoch.
+    pub fn total_mem_accesses(&self) -> u64 {
+        self.mem_accesses.values().sum()
+    }
+
+    /// Pages touched at the memory level this epoch.
+    pub fn pages_touched(&self) -> usize {
+        self.mem_accesses.len()
+    }
+
+    /// Memory accesses to one page this epoch.
+    pub fn mem_accesses_of(&self, key: PageKey) -> u64 {
+        self.mem_accesses.get(&key.pack()).copied().unwrap_or(0)
+    }
+}
+
+/// The machine's omniscient recorder.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    current: EpochTruth,
+    /// Lifetime memory accesses per page (heat over the whole run).
+    lifetime_mem: HashMap<u64, u64>,
+}
+
+impl GroundTruth {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one reference; `memory_level` marks LLC misses.
+    #[inline]
+    pub fn record(&mut self, key: PageKey, memory_level: bool) {
+        let packed = key.pack();
+        *self.current.references.entry(packed).or_insert(0) += 1;
+        if memory_level {
+            *self.current.mem_accesses.entry(packed).or_insert(0) += 1;
+            *self.lifetime_mem.entry(packed).or_insert(0) += 1;
+        }
+    }
+
+    /// Close the epoch: return its truth and start a fresh one.
+    pub fn take_epoch(&mut self) -> EpochTruth {
+        std::mem::take(&mut self.current)
+    }
+
+    /// Peek at the in-progress epoch.
+    pub fn current(&self) -> &EpochTruth {
+        &self.current
+    }
+
+    /// Lifetime memory accesses per packed page key.
+    pub fn lifetime_mem(&self) -> &HashMap<u64, u64> {
+        &self.lifetime_mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Vpn;
+
+    fn key(vpn: u64) -> PageKey {
+        PageKey { pid: 1, vpn: Vpn(vpn) }
+    }
+
+    #[test]
+    fn records_references_and_memory_separately() {
+        let mut gt = GroundTruth::new();
+        gt.record(key(1), false);
+        gt.record(key(1), true);
+        gt.record(key(2), false);
+        let t = gt.current();
+        assert_eq!(t.references.len(), 2);
+        assert_eq!(t.mem_accesses.len(), 1);
+        assert_eq!(t.mem_accesses_of(key(1)), 1);
+        assert_eq!(t.mem_accesses_of(key(2)), 0);
+        assert_eq!(t.total_mem_accesses(), 1);
+    }
+
+    #[test]
+    fn take_epoch_resets_current_but_keeps_lifetime() {
+        let mut gt = GroundTruth::new();
+        gt.record(key(1), true);
+        let e1 = gt.take_epoch();
+        assert_eq!(e1.total_mem_accesses(), 1);
+        assert_eq!(gt.current().total_mem_accesses(), 0);
+        gt.record(key(1), true);
+        assert_eq!(gt.lifetime_mem()[&key(1).pack()], 2);
+    }
+
+    #[test]
+    fn pages_touched_counts_distinct_pages() {
+        let mut gt = GroundTruth::new();
+        for v in 0..10 {
+            gt.record(key(v), true);
+            gt.record(key(v), true);
+        }
+        assert_eq!(gt.current().pages_touched(), 10);
+    }
+}

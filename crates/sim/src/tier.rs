@@ -1,0 +1,185 @@
+//! Memory-tier descriptors.
+//!
+//! The paper's TMA maps every byte-addressable technology into one physical
+//! address space and splits it into tiers: tier 1 (DRAM: low latency, high
+//! bandwidth) and tier 2 (NVM: denser, slower). We model the same split as a
+//! static partition of the physical frame space — frames `[0, t1_frames)`
+//! belong to tier 1, the rest to tier 2 — so a frame number alone identifies
+//! its tier, exactly as the paper's placement mechanism identifies tiers by
+//! physical address ranges (NUMA-node-style).
+
+use crate::addr::{Pfn, PAGE_SIZE};
+
+/// Which tier a physical frame lives in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tier {
+    /// Fast, small tier (DRAM).
+    Tier1,
+    /// Slow, large tier (NVM).
+    Tier2,
+}
+
+impl Tier {
+    /// All tiers, fastest first.
+    pub const ALL: [Tier; 2] = [Tier::Tier1, Tier::Tier2];
+
+    /// Index into per-tier arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Tier1 => 0,
+            Tier::Tier2 => 1,
+        }
+    }
+}
+
+/// Performance characteristics of one tier.
+///
+/// Latencies are in core cycles (the machine model charges them on an LLC
+/// miss served from the tier). Defaults follow the common DRAM ≈ 80 ns,
+/// Optane-like NVM ≈ 300 ns read / 100 ns buffered write picture at ~4 GHz —
+/// the paper's premise that tier 2 is slower but *not* orders of magnitude
+/// slower (§IV step 2, reason 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TierSpec {
+    /// Frames this tier provides.
+    pub frames: u64,
+    /// Cycles to serve a demand load.
+    pub load_latency: u64,
+    /// Cycles to absorb a store (write buffers hide part of it).
+    pub store_latency: u64,
+}
+
+/// The machine's tiered physical memory layout.
+#[derive(Clone, Debug)]
+pub struct TieredMemory {
+    specs: [TierSpec; 2],
+}
+
+impl TieredMemory {
+    /// Build a layout from per-tier specs.
+    pub fn new(tier1: TierSpec, tier2: TierSpec) -> Self {
+        assert!(tier1.frames > 0, "tier 1 must have capacity");
+        Self {
+            specs: [tier1, tier2],
+        }
+    }
+
+    /// A layout with the given frame counts and default DRAM/NVM latencies.
+    pub fn with_frames(t1_frames: u64, t2_frames: u64) -> Self {
+        Self::new(
+            TierSpec {
+                frames: t1_frames,
+                load_latency: 320,  // ~80 ns @ 4 GHz
+                store_latency: 320,
+            },
+            TierSpec {
+                frames: t2_frames,
+                load_latency: 1200, // ~300 ns
+                store_latency: 400, // ~100 ns (write buffering)
+            },
+        )
+    }
+
+    /// Spec of one tier.
+    #[inline]
+    pub fn spec(&self, tier: Tier) -> &TierSpec {
+        &self.specs[tier.index()]
+    }
+
+    /// Total frames across both tiers.
+    pub fn total_frames(&self) -> u64 {
+        self.specs[0].frames + self.specs[1].frames
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_frames() * PAGE_SIZE
+    }
+
+    /// First frame of the given tier's contiguous range.
+    pub fn first_frame(&self, tier: Tier) -> Pfn {
+        match tier {
+            Tier::Tier1 => Pfn(0),
+            Tier::Tier2 => Pfn(self.specs[0].frames),
+        }
+    }
+
+    /// Which tier a frame belongs to.
+    ///
+    /// # Panics
+    /// If the frame is outside physical memory.
+    #[inline]
+    pub fn tier_of(&self, pfn: Pfn) -> Tier {
+        if pfn.0 < self.specs[0].frames {
+            Tier::Tier1
+        } else {
+            assert!(
+                pfn.0 < self.total_frames(),
+                "frame {pfn:?} beyond physical memory"
+            );
+            Tier::Tier2
+        }
+    }
+
+    /// Load latency for an access served by the tier holding `pfn`.
+    #[inline]
+    pub fn load_latency(&self, pfn: Pfn) -> u64 {
+        self.spec(self.tier_of(pfn)).load_latency
+    }
+
+    /// Store latency for an access absorbed by the tier holding `pfn`.
+    #[inline]
+    pub fn store_latency(&self, pfn: Pfn) -> u64 {
+        self.spec(self.tier_of(pfn)).store_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_partition_is_contiguous() {
+        let tm = TieredMemory::with_frames(100, 900);
+        assert_eq!(tm.tier_of(Pfn(0)), Tier::Tier1);
+        assert_eq!(tm.tier_of(Pfn(99)), Tier::Tier1);
+        assert_eq!(tm.tier_of(Pfn(100)), Tier::Tier2);
+        assert_eq!(tm.tier_of(Pfn(999)), Tier::Tier2);
+        assert_eq!(tm.total_frames(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond physical memory")]
+    fn out_of_range_frame_panics() {
+        let tm = TieredMemory::with_frames(10, 10);
+        tm.tier_of(Pfn(20));
+    }
+
+    #[test]
+    fn tier2_loads_slower_than_tier1() {
+        let tm = TieredMemory::with_frames(10, 10);
+        assert!(tm.load_latency(Pfn(15)) > tm.load_latency(Pfn(5)));
+    }
+
+    #[test]
+    fn nvm_is_slower_but_not_orders_of_magnitude() {
+        // The paper's migration-cost argument depends on this ratio.
+        let tm = TieredMemory::with_frames(10, 10);
+        let ratio = tm.load_latency(Pfn(15)) as f64 / tm.load_latency(Pfn(5)) as f64;
+        assert!(ratio > 1.5 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn first_frames() {
+        let tm = TieredMemory::with_frames(64, 128);
+        assert_eq!(tm.first_frame(Tier::Tier1), Pfn(0));
+        assert_eq!(tm.first_frame(Tier::Tier2), Pfn(64));
+    }
+
+    #[test]
+    fn total_bytes() {
+        let tm = TieredMemory::with_frames(256, 0);
+        assert_eq!(tm.total_bytes(), 1 << 20);
+    }
+}

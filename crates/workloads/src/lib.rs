@@ -1,0 +1,36 @@
+//! # tmprof-workloads — Table III workload generators
+//!
+//! Deterministic, seeded generators reproducing the access-pattern classes
+//! of the paper's eight evaluation workloads (CloudSuite + HPC) at
+//! simulator scale. Each generator implements `tmprof_sim::runner::OpStream`
+//! and is spawned per process via [`spec::WorkloadConfig::spawn`].
+//!
+//! ```
+//! use tmprof_sim::prelude::*;
+//! use tmprof_workloads::spec::WorkloadKind;
+//!
+//! let cfg = WorkloadKind::Gups.default_config();
+//! let mut machine = Machine::new(MachineConfig::scaled(2, 1 << 14, 1 << 16, 1024));
+//! let mut gens = cfg.spawn();
+//! let mut streams = Vec::new();
+//! for (i, g) in gens.iter_mut().enumerate() {
+//!     let pid = (i + 1) as Pid;
+//!     machine.add_process(pid);
+//!     streams.push((pid, &mut **g as &mut dyn OpStream));
+//! }
+//! Runner::new(streams).run(&mut machine, 10_000);
+//! assert!(machine.aggregate_counts().retired_ops >= 40_000);
+//! ```
+
+pub mod common;
+pub mod data_analytics;
+pub mod data_caching;
+pub mod graph500;
+pub mod graph_analytics;
+pub mod gups;
+pub mod lulesh;
+pub mod spec;
+pub mod web_serving;
+pub mod xsbench;
+
+pub use spec::{WorkloadConfig, WorkloadKind};

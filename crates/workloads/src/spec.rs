@@ -1,0 +1,242 @@
+//! Workload taxonomy and scaled configurations (paper Table III).
+//!
+//! Each paper workload is reproduced as a deterministic generator of the
+//! same *access-pattern class* at a scaled-down footprint. What the paper's
+//! profilers measure is page-level locality structure — uniform-random
+//! (GUPS), hot-index-plus-cold-grid (XSBench), frontier expansion
+//! (Graph500), power-law gathers (Graph-Analytics), Zipf key popularity
+//! (Data-Caching), scan/aggregate phases (Data-Analytics), stencil sweeps
+//! (LULESH), and hot-set-plus-long-tail service traffic (Web-Serving) — and
+//! that structure is preserved exactly; only the byte counts shrink.
+//! DESIGN.md §2 records the scaling rule.
+
+use tmprof_sim::prelude::*;
+
+use crate::{
+    data_analytics::DataAnalytics, data_caching::DataCaching, graph500::Graph500,
+    graph_analytics::GraphAnalytics, gups::Gups, lulesh::Lulesh, web_serving::WebServing,
+    xsbench::XsBench,
+};
+
+/// The eight workloads of Table III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkloadKind {
+    DataAnalytics,
+    DataCaching,
+    Graph500,
+    GraphAnalytics,
+    Gups,
+    Lulesh,
+    WebServing,
+    XsBench,
+}
+
+impl WorkloadKind {
+    /// All workloads, in the paper's table order.
+    pub const ALL: [WorkloadKind; 8] = [
+        WorkloadKind::DataAnalytics,
+        WorkloadKind::DataCaching,
+        WorkloadKind::Graph500,
+        WorkloadKind::GraphAnalytics,
+        WorkloadKind::Gups,
+        WorkloadKind::Lulesh,
+        WorkloadKind::WebServing,
+        WorkloadKind::XsBench,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::DataAnalytics => "Data-Analytics",
+            WorkloadKind::DataCaching => "Data-Caching",
+            WorkloadKind::Graph500 => "Graph500",
+            WorkloadKind::GraphAnalytics => "Graph-Analytics",
+            WorkloadKind::Gups => "GUPS",
+            WorkloadKind::Lulesh => "LULESH",
+            WorkloadKind::WebServing => "Web-Serving",
+            WorkloadKind::XsBench => "XSBench",
+        }
+    }
+
+    /// Suite the paper draws the workload from.
+    pub fn suite(self) -> &'static str {
+        match self {
+            WorkloadKind::DataAnalytics
+            | WorkloadKind::DataCaching
+            | WorkloadKind::GraphAnalytics
+            | WorkloadKind::WebServing => "CloudSuite",
+            _ => "HPC",
+        }
+    }
+
+    /// Scaled default configuration (process count follows Table III's
+    /// flavor — many small CloudSuite workers vs few large HPC ranks — but
+    /// shrunk to simulator scale).
+    pub fn default_config(self) -> WorkloadConfig {
+        // footprint_pages is per process.
+        let (processes, footprint_pages) = match self {
+            // 1 master + 32 workers over 0.6 GB -> dense shared-size heaps.
+            WorkloadKind::DataAnalytics => (4, 4096),
+            // 4 memcached instances, 36 GB of values, Zipf-hot subset.
+            WorkloadKind::DataCaching => (4, 2048),
+            // 8 ranks, 1 GB graph.
+            WorkloadKind::Graph500 => (2, 2048),
+            // 16 workers over the 1.4 GB Twitter graph.
+            WorkloadKind::GraphAnalytics => (2, 8192),
+            // 8 ranks, 4 GB table, uniform random.
+            WorkloadKind::Gups => (4, 16384),
+            // 8 ranks, 21 GB structured mesh.
+            WorkloadKind::Lulesh => (4, 4096),
+            // 3 servers + 100 clients: small hot set, long object tail.
+            WorkloadKind::WebServing => (4, 4096),
+            // 8 ranks, 120 GB grid: the footprint monster.
+            WorkloadKind::XsBench => (2, 65536),
+        };
+        WorkloadConfig {
+            kind: self,
+            processes,
+            footprint_pages,
+            seed: 0xD15C0 ^ (self as u64),
+        }
+    }
+
+    /// Paper-reported dataset size, for documentation output.
+    pub fn paper_input(self) -> &'static str {
+        match self {
+            WorkloadKind::DataAnalytics => "Wiki dataset, 0.6 GB",
+            WorkloadKind::DataCaching => "Twitter dataset, 36 GB",
+            WorkloadKind::Graph500 => "1 GB",
+            WorkloadKind::GraphAnalytics => "Twitter dataset, 1.4 GB",
+            WorkloadKind::Gups => "4 GB",
+            WorkloadKind::Lulesh => "21 GB",
+            WorkloadKind::WebServing => "Faban workload generator",
+            WorkloadKind::XsBench => "120 GB",
+        }
+    }
+}
+
+/// A concrete, scaled instantiation of one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    pub kind: WorkloadKind,
+    /// Number of processes (Table III "configuration", scaled).
+    pub processes: usize,
+    /// Footprint per process, in 4 KiB pages.
+    pub footprint_pages: u64,
+    /// Master seed; per-process generators fork from it.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Shrink or grow the footprint (power-of-two factor).
+    pub fn scaled_footprint(mut self, factor_num: u64, factor_den: u64) -> Self {
+        self.footprint_pages = (self.footprint_pages * factor_num / factor_den).max(64);
+        self
+    }
+
+    /// Override the process count.
+    pub fn with_processes(mut self, processes: usize) -> Self {
+        assert!(processes > 0);
+        self.processes = processes;
+        self
+    }
+
+    /// Override the seed (for replication studies).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total footprint across processes, in pages.
+    pub fn total_pages(&self) -> u64 {
+        self.footprint_pages * self.processes as u64
+    }
+
+    /// Build one generator per process. Process `i` gets PID `first_pid+i`
+    /// and an independent RNG stream forked from the master seed.
+    pub fn spawn(&self) -> Vec<Box<dyn OpStream + Send>> {
+        let mut master = Rng::new(self.seed);
+        (0..self.processes)
+            .map(|rank| {
+                let rng = master.fork();
+                build_generator(self.kind, self.footprint_pages, rank, rng)
+            })
+            .collect()
+    }
+}
+
+fn build_generator(
+    kind: WorkloadKind,
+    pages: u64,
+    rank: usize,
+    rng: Rng,
+) -> Box<dyn OpStream + Send> {
+    match kind {
+        WorkloadKind::DataAnalytics => Box::new(DataAnalytics::new(pages, rank, rng)),
+        WorkloadKind::DataCaching => Box::new(DataCaching::new(pages, rank, rng)),
+        WorkloadKind::Graph500 => Box::new(Graph500::new(pages, rank, rng)),
+        WorkloadKind::GraphAnalytics => Box::new(GraphAnalytics::new(pages, rank, rng)),
+        WorkloadKind::Gups => Box::new(Gups::new(pages, rank, rng)),
+        WorkloadKind::Lulesh => Box::new(Lulesh::new(pages, rank, rng)),
+        WorkloadKind::WebServing => Box::new(WebServing::new(pages, rank, rng)),
+        WorkloadKind::XsBench => Box::new(XsBench::new(pages, rank, rng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_distinct_names() {
+        let mut names: Vec<&str> = WorkloadKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn default_configs_spawn_right_process_counts() {
+        for kind in WorkloadKind::ALL {
+            let cfg = kind.default_config();
+            let gens = cfg.spawn();
+            assert_eq!(gens.len(), cfg.processes, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn spawn_is_deterministic() {
+        let cfg = WorkloadKind::Gups.default_config();
+        let mut a = cfg.spawn();
+        let mut b = cfg.spawn();
+        for _ in 0..1000 {
+            assert_eq!(a[0].next_op(), b[0].next_op());
+        }
+    }
+
+    #[test]
+    fn different_ranks_produce_different_streams() {
+        let cfg = WorkloadKind::Gups.default_config();
+        let mut gens = cfg.spawn();
+        let (head, tail) = gens.split_at_mut(1);
+        let mut identical = 0;
+        for _ in 0..256 {
+            if head[0].next_op() == tail[0].next_op() {
+                identical += 1;
+            }
+        }
+        assert!(identical < 256, "rank streams must differ");
+    }
+
+    #[test]
+    fn scaled_footprint_clamps_to_minimum() {
+        let cfg = WorkloadKind::Graph500.default_config().scaled_footprint(1, 1_000_000);
+        assert_eq!(cfg.footprint_pages, 64);
+    }
+
+    #[test]
+    fn suites_match_paper_table() {
+        assert_eq!(WorkloadKind::Gups.suite(), "HPC");
+        assert_eq!(WorkloadKind::DataCaching.suite(), "CloudSuite");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests that hold for EVERY workload generator.
+
+use proptest::prelude::*;
+
+use tmprof_sim::machine::WorkOp;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn any_kind() -> impl Strategy<Value = WorkloadKind> {
+    prop::sample::select(WorkloadKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every address any generator ever produces is canonical and within
+    /// the footprint the config declares (regions are carved from it).
+    #[test]
+    fn addresses_are_canonical(kind in any_kind(), seed: u64) {
+        let cfg = kind.default_config().with_seed(seed).scaled_footprint(1, 8);
+        let mut gens = cfg.spawn();
+        for g in &mut gens {
+            for _ in 0..2000 {
+                if let WorkOp::Mem { va, .. } = g.next_op() {
+                    prop_assert!(va.is_canonical(), "{}: {va:?}", kind.name());
+                }
+            }
+        }
+    }
+
+    /// The distinct pages a generator touches never exceed its declared
+    /// per-process footprint (plus region-rounding slack).
+    #[test]
+    fn footprint_is_respected(kind in any_kind(), seed: u64) {
+        let cfg = kind.default_config().with_seed(seed).scaled_footprint(1, 8);
+        let mut gens = cfg.spawn();
+        let budget = cfg.footprint_pages + cfg.footprint_pages / 4 + 64;
+        for g in &mut gens {
+            let mut pages = std::collections::HashSet::new();
+            for _ in 0..20_000 {
+                if let WorkOp::Mem { va, .. } = g.next_op() {
+                    pages.insert(va.vpn());
+                }
+            }
+            prop_assert!(
+                (pages.len() as u64) <= budget,
+                "{}: {} pages > {budget}",
+                kind.name(),
+                pages.len()
+            );
+        }
+    }
+
+    /// Generators are pure functions of (kind, footprint, rank, seed).
+    #[test]
+    fn streams_are_deterministic(kind in any_kind(), seed: u64) {
+        let cfg = kind.default_config().with_seed(seed).scaled_footprint(1, 16);
+        let mut a = cfg.spawn();
+        let mut b = cfg.spawn();
+        for (ga, gb) in a.iter_mut().zip(b.iter_mut()) {
+            for _ in 0..500 {
+                prop_assert_eq!(ga.next_op(), gb.next_op());
+            }
+        }
+    }
+
+    /// Every generator emits a sane op mix: some loads, some compute, and
+    /// memory ops are a meaningful share of the stream.
+    #[test]
+    fn op_mix_is_sane(kind in any_kind()) {
+        let cfg = kind.default_config().scaled_footprint(1, 16);
+        let mut g = cfg.spawn().remove(0);
+        let (mut mem, mut compute, mut loads) = (0u64, 0u64, 0u64);
+        for _ in 0..10_000 {
+            match g.next_op() {
+                WorkOp::Mem { store, .. } => {
+                    mem += 1;
+                    if !store {
+                        loads += 1;
+                    }
+                }
+                WorkOp::Compute => compute += 1,
+            }
+        }
+        prop_assert!(mem > 1000, "{}: too few mem ops ({mem})", kind.name());
+        prop_assert!(compute > 500, "{}: no ALU work ({compute})", kind.name());
+        prop_assert!(loads * 2 >= mem, "{}: load share too low", kind.name());
+    }
+
+    /// Site IDs (synthetic instruction pointers) are stable per kind: the
+    /// same generator reuses a small set of sites, like real code.
+    #[test]
+    fn sites_form_a_small_stable_set(kind in any_kind(), seed: u64) {
+        let cfg = kind.default_config().with_seed(seed).scaled_footprint(1, 16);
+        let mut g = cfg.spawn().remove(0);
+        let mut sites = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            if let WorkOp::Mem { site, .. } = g.next_op() {
+                sites.insert(site);
+            }
+        }
+        prop_assert!(!sites.is_empty());
+        prop_assert!(sites.len() <= 8, "{}: {} sites", kind.name(), sites.len());
+    }
+}
+
+/// Non-proptest sweep: every workload runs on a real machine without
+/// panicking and actually reaches memory.
+#[test]
+fn all_generators_execute_on_a_machine() {
+    use tmprof_sim::machine::{Machine, MachineConfig};
+    use tmprof_sim::runner::{OpStream, Runner};
+    use tmprof_sim::tlb::Pid;
+
+    for kind in WorkloadKind::ALL {
+        let cfg = kind.default_config().scaled_footprint(1, 16);
+        let mut m = Machine::new(MachineConfig::scaled(2, cfg.total_pages() * 2, 0, 1024));
+        let mut gens = cfg.spawn();
+        let pids: Vec<Pid> = (1..=gens.len() as Pid).collect();
+        for &pid in &pids {
+            m.add_process(pid);
+        }
+        let streams: Vec<(Pid, &mut dyn OpStream)> = gens
+            .iter_mut()
+            .enumerate()
+            .map(|(i, g)| (pids[i], &mut **g as &mut dyn OpStream))
+            .collect();
+        Runner::new(streams).run(&mut m, 20_000);
+        let counts = m.aggregate_counts();
+        assert!(counts.llc_misses > 0, "{}: never reached memory", kind.name());
+        assert!(counts.ptw_walks > 0, "{}: never walked", kind.name());
+    }
+}

@@ -1,0 +1,75 @@
+//! Compare the visibility of each profiling method on one workload.
+//!
+//! ```text
+//! cargo run --release --example profiler_comparison [workload]
+//! ```
+//!
+//! Runs the chosen workload (default: XSBench, the paper's asymmetry
+//! showcase) three times — A-bit scanning only, IBS trace sampling only,
+//! and both — and prints what each configuration could and could not see.
+//! This is the paper's core argument in miniature: the translation path
+//! and the cache-miss path observe *different* slices of the access
+//! stream, so a profiler needs both.
+
+use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
+use tmprof_bench::scale::Scale;
+use tmprof_bench::table::Table;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn pick_workload(arg: Option<String>) -> WorkloadKind {
+    let Some(name) = arg else {
+        return WorkloadKind::XsBench;
+    };
+    let needle = name.to_lowercase().replace(['-', '_'], "");
+    WorkloadKind::ALL
+        .into_iter()
+        .find(|k| k.name().to_lowercase().replace('-', "") == needle)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload {name:?}; options:");
+            for k in WorkloadKind::ALL {
+                eprintln!("  {}", k.name());
+            }
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let kind = pick_workload(std::env::args().nth(1));
+    let scale = Scale::quick();
+
+    println!(
+        "Profiling {} ({}, paper input: {})\n",
+        kind.name(),
+        kind.suite(),
+        kind.paper_input()
+    );
+
+    let mut table = Table::new(vec![
+        "configuration",
+        "A-bit pages",
+        "IBS pages",
+        "both (same epoch)",
+        "overhead cycles",
+    ]);
+    for (label, mode) in [
+        ("A-bit only", ProfMode::ABitOnly),
+        ("IBS only (4x)", ProfMode::TraceOnly),
+        ("TMP (both)", ProfMode::Both),
+    ] {
+        let run = run_workload(kind, &RunOptions::new(scale).dense().with_mode(mode));
+        let overhead = run.abit_stats.overhead_cycles + run.trace_stats.overhead_cycles;
+        table.row(vec![
+            label.to_string(),
+            run.detection.abit.to_string(),
+            run.detection.trace.to_string(),
+            run.detection.both.to_string(),
+            overhead.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nReading: the A-bit scan is exact but budget-bounded (it plateaus on huge \
+         footprints); IBS sees exactly what misses the LLC, wherever it lives. \
+         TMP sums the two (Fig. 2 justifies the plain sum)."
+    );
+}

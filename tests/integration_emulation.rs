@@ -1,0 +1,91 @@
+//! Cross-crate integration: the §VI-C emulation experiment at small scale.
+
+use tmprof_core::profiler::TmpConfig;
+use tmprof_emul::emulator::EmulConfig;
+use tmprof_emul::experiment::{emulation_machine, run_emulated, speedup, EmulPolicy};
+use tmprof_sim::prelude::*;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn run_policy(kind: WorkloadKind, policy: EmulPolicy) -> tmprof_emul::EmulRunResult {
+    let cfg = kind.default_config().scaled_footprint(1, 16);
+    let total = cfg.total_pages();
+    let t2 = total * 2;
+    let t1 = (t2 / 15).max(32);
+    let mut machine = emulation_machine(2, t1, t2, 256);
+    let mut gens = cfg.spawn();
+    let pids: Vec<Pid> = (1..=gens.len() as Pid).collect();
+    for &pid in &pids {
+        machine.add_process(pid);
+    }
+    let mut streams: Vec<(Pid, &mut dyn OpStream)> = gens
+        .iter_mut()
+        .enumerate()
+        .map(|(i, g)| (pids[i], &mut **g as &mut dyn OpStream))
+        .collect();
+    run_emulated(
+        &mut machine,
+        &mut streams,
+        policy,
+        EmulConfig::default(),
+        TmpConfig::paper_defaults(256),
+        4,
+        30_000,
+    )
+}
+
+#[test]
+fn baseline_pays_slow_faults_and_never_migrates() {
+    let base = run_policy(WorkloadKind::DataCaching, EmulPolicy::FirstTouch);
+    assert!(base.slow_faults > 0, "slow tier never exercised");
+    assert_eq!(base.migrations, 0);
+}
+
+#[test]
+fn tmp_history_runs_and_migrates() {
+    let opt = run_policy(WorkloadKind::DataCaching, EmulPolicy::TmpHistory);
+    assert!(opt.migrations > 0, "policy never moved a page");
+    assert!(opt.cycles > 0);
+}
+
+#[test]
+fn speedups_are_in_a_sane_band_across_workloads() {
+    // At tiny scale we only require the speedup to be in a plausible band:
+    // migration cost can eat the win, but nothing should crater or explode.
+    for kind in [
+        WorkloadKind::DataCaching,
+        WorkloadKind::WebServing,
+        WorkloadKind::Gups,
+    ] {
+        let base = run_policy(kind, EmulPolicy::FirstTouch);
+        let opt = run_policy(kind, EmulPolicy::TmpHistory);
+        let s = speedup(&base, &opt);
+        assert!(
+            (0.5..4.0).contains(&s),
+            "{}: speedup {s} out of band",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn zipf_hot_set_yields_speedup() {
+    // Data-Caching's Zipf traffic is the paper's favorable case: hot slabs
+    // promoted to the fast tier must help end-to-end.
+    let base = run_policy(WorkloadKind::DataCaching, EmulPolicy::FirstTouch);
+    let opt = run_policy(WorkloadKind::DataCaching, EmulPolicy::TmpHistory);
+    assert!(
+        speedup(&base, &opt) > 1.0,
+        "no win on the favorable workload: {} vs {}",
+        base.cycles,
+        opt.cycles
+    );
+}
+
+#[test]
+fn identical_runs_have_identical_cycles() {
+    let a = run_policy(WorkloadKind::Graph500, EmulPolicy::TmpHistory);
+    let b = run_policy(WorkloadKind::Graph500, EmulPolicy::TmpHistory);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.slow_faults, b.slow_faults);
+    assert_eq!(a.migrations, b.migrations);
+}

@@ -1,0 +1,124 @@
+//! Self-checking reproduction: the paper's qualitative claims, asserted at
+//! quick scale. If a refactor breaks one of the *shapes* the paper reports
+//! (orderings, bounds, crossovers), these tests fail before EXPERIMENTS.md
+//! goes stale.
+
+use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
+use tmprof_bench::scale::Scale;
+use tmprof_workloads::spec::WorkloadKind;
+
+fn quick() -> Scale {
+    Scale::quick()
+}
+
+/// Fig. 2: A-bit-setting walks and LLC misses are within two orders of
+/// magnitude for every workload (the sum rule's precondition).
+#[test]
+fn fig2_shape_event_populations_comparable() {
+    for kind in WorkloadKind::ALL {
+        let run = run_workload(kind, &RunOptions::new(quick()));
+        let ratio = run.counts.ptw_to_cache_miss_ratio();
+        assert!(
+            ratio > 0.005 && ratio < 100.0,
+            "{}: PTW/LLC-miss ratio {ratio} outside the comparable band",
+            kind.name()
+        );
+    }
+}
+
+/// Table IV: IBS detections grow monotonically with the sampling rate,
+/// while A-bit detections do not depend on it at all.
+#[test]
+fn table4_shape_rate_scaling() {
+    for kind in [WorkloadKind::Gups, WorkloadKind::DataCaching] {
+        let runs: Vec<_> = [1u64, 4, 8]
+            .iter()
+            .map(|&r| run_workload(kind, &RunOptions::new(quick()).dense().with_rate(r)))
+            .collect();
+        assert!(
+            runs[0].detection.trace < runs[1].detection.trace
+                && runs[1].detection.trace <= runs[2].detection.trace,
+            "{}: IBS counts not monotone: {:?}",
+            kind.name(),
+            runs.iter().map(|r| r.detection.trace).collect::<Vec<_>>()
+        );
+        assert_eq!(runs[0].detection.abit, runs[2].detection.abit, "{}", kind.name());
+    }
+}
+
+/// Table IV: the GUPS-style asymmetry (IBS ≫ A-bit detections on huge
+/// sparse footprints at high rates) and the Web-Serving inversion
+/// (A-bit ≫ IBS on broad-but-cache-friendly footprints).
+#[test]
+fn table4_shape_source_asymmetries() {
+    let gups = run_workload(
+        WorkloadKind::Gups,
+        &RunOptions::new(quick()).dense().with_rate(8),
+    );
+    assert!(
+        gups.detection.trace > gups.detection.abit,
+        "GUPS: IBS {} must exceed budget-capped A-bit {}",
+        gups.detection.trace,
+        gups.detection.abit
+    );
+    let ws = run_workload(
+        WorkloadKind::WebServing,
+        &RunOptions::new(quick()).dense().with_rate(4),
+    );
+    assert!(
+        ws.detection.abit > ws.detection.trace * 2,
+        "Web-Serving: A-bit {} must dwarf IBS {}",
+        ws.detection.abit,
+        ws.detection.trace
+    );
+}
+
+/// §VI-B: overhead ordering A-bit < IBS-sparse-1x < IBS-sparse-4x, and the
+/// A-bit bound (<1%) holds even at quick scale.
+#[test]
+fn overhead_shape_ordering_and_abit_bound() {
+    let kind = WorkloadKind::DataCaching;
+    let scale = quick();
+    let sparse = scale.base_period * 4;
+    let base = run_workload(kind, &RunOptions::new(scale).with_mode(ProfMode::None))
+        .counts
+        .cycles as f64;
+    let abit = run_workload(kind, &RunOptions::new(scale).with_mode(ProfMode::ABitOnly))
+        .counts
+        .cycles as f64;
+    let ibs1 = run_workload(
+        kind,
+        &RunOptions::new(scale)
+            .with_mode(ProfMode::TraceOnly)
+            .with_base_period(sparse)
+            .with_rate(1),
+    )
+    .counts
+    .cycles as f64;
+    let ibs4 = run_workload(
+        kind,
+        &RunOptions::new(scale)
+            .with_mode(ProfMode::TraceOnly)
+            .with_base_period(sparse)
+            .with_rate(4),
+    )
+    .counts
+    .cycles as f64;
+    let (o_abit, o_ibs1, o_ibs4) = (abit / base - 1.0, ibs1 / base - 1.0, ibs4 / base - 1.0);
+    assert!(o_abit < 0.01, "A-bit overhead {o_abit} breaks the <1% bound");
+    assert!(o_abit < o_ibs4, "ordering violated: {o_abit} vs {o_ibs4}");
+    assert!(o_ibs1 < o_ibs4, "rate must cost: {o_ibs1} vs {o_ibs4}");
+}
+
+/// Fig. 5 takeaway: the hottest pages are a minor portion of the footprint
+/// for the Zipf-skewed workloads.
+#[test]
+fn fig5_shape_heat_concentration() {
+    use tmprof_core::report::heat_concentration;
+    let run = run_workload(WorkloadKind::DataCaching, &RunOptions::new(quick()).dense());
+    let conc = heat_concentration(run.trace_page_counts.iter().copied(), 0.10);
+    assert!(
+        conc > 0.15,
+        "Zipf workload: top 10% of pages should absorb >15% of samples ({conc})"
+    );
+}
