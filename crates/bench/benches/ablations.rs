@@ -17,7 +17,12 @@ use tmprof_profilers::abit::{ABitConfig, ABitScanner};
 use tmprof_sim::prelude::*;
 
 fn working_machine(pages: u64, procs: u32) -> Machine {
-    let mut m = Machine::new(MachineConfig::scaled(2, pages * 2 * procs as u64, 0, 1 << 20));
+    let mut m = Machine::new(MachineConfig::scaled(
+        2,
+        pages * 2 * procs as u64,
+        0,
+        1 << 20,
+    ));
     for pid in 1..=procs {
         m.add_process(pid);
         for i in 0..pages {
@@ -93,7 +98,15 @@ fn ablation_filter(c: &mut Criterion) {
         });
         let _ = filter.tracked_pids(&m); // baseline interval
         for i in 0..20_000u64 {
-            m.exec_op(0, 1, WorkOp::Mem { va: VirtAddr((i % 2048) * PAGE_SIZE), store: false, site: 0 });
+            m.exec_op(
+                0,
+                1,
+                WorkOp::Mem {
+                    va: VirtAddr((i % 2048) * PAGE_SIZE),
+                    store: false,
+                    site: 0,
+                },
+            );
         }
         (m, filter)
     };
@@ -148,11 +161,15 @@ fn ablation_gating(c: &mut Criterion) {
                 |(mut m, mut tmp)| {
                     // Epoch 0: memory pressure (establishes maxima).
                     for i in 0..30_000u64 {
-                        m.exec_op(0, 1, WorkOp::Mem {
-                            va: VirtAddr((i % 4096) * PAGE_SIZE),
-                            store: false,
-                            site: 0,
-                        });
+                        m.exec_op(
+                            0,
+                            1,
+                            WorkOp::Mem {
+                                va: VirtAddr((i % 4096) * PAGE_SIZE),
+                                store: false,
+                                site: 0,
+                            },
+                        );
                     }
                     tmp.end_epoch(&mut m);
                     // Epochs 1-3: cache-resident (idle memory subsystem).

@@ -14,7 +14,11 @@ fn synthetic_profile(pages: u64) -> EpochProfile {
     let mut p = EpochProfile::default();
     let mut rng = Rng::new(7);
     for v in 0..pages {
-        let key = PageKey { pid: 1, vpn: Vpn(v) }.pack();
+        let key = PageKey {
+            pid: 1,
+            vpn: Vpn(v),
+        }
+        .pack();
         p.abit.insert(key, 1 + (rng.below(8)) as u32);
         if rng.chance(0.3) {
             p.trace.insert(key, 1 + (rng.below(50)) as u32);
@@ -57,7 +61,11 @@ fn bench_replay(c: &mut Criterion) {
             let mut truth = std::collections::HashMap::new();
             for v in 0..pages {
                 truth.insert(
-                    PageKey { pid: 1, vpn: Vpn(v) }.pack(),
+                    PageKey {
+                        pid: 1,
+                        vpn: Vpn(v),
+                    }
+                    .pack(),
                     1 + rng.below(100),
                 );
             }
@@ -67,7 +75,13 @@ fn bench_replay(c: &mut Criterion) {
             });
         }
         log.first_touch_order = (0..pages)
-            .map(|v| PageKey { pid: 1, vpn: Vpn(v) }.pack())
+            .map(|v| {
+                PageKey {
+                    pid: 1,
+                    vpn: Vpn(v),
+                }
+                .pack()
+            })
             .collect();
         group.bench_with_input(BenchmarkId::new("oracle_cell", pages), &log, |b, log| {
             b.iter(|| {
@@ -95,7 +109,13 @@ fn bench_mover(c: &mut Criterion) {
                 // Nominate 512 tier-2 residents.
                 let placement = tmprof_policy::policies::Placement {
                     tier1_pages: (2048..2560u64)
-                        .map(|v| PageKey { pid: 1, vpn: Vpn(v) }.pack())
+                        .map(|v| {
+                            PageKey {
+                                pid: 1,
+                                vpn: Vpn(v),
+                            }
+                            .pack()
+                        })
                         .collect(),
                 };
                 (m, placement)
@@ -109,5 +129,11 @@ fn bench_mover(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ranking, bench_selection, bench_replay, bench_mover);
+criterion_group!(
+    benches,
+    bench_ranking,
+    bench_selection,
+    bench_replay,
+    bench_mover
+);
 criterion_main!(benches);

@@ -22,18 +22,14 @@ fn touched_machine(pages: u64) -> Machine {
 fn bench_abit_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("abit_scan");
     for pages in [1024u64, 8192, 65536] {
-        group.bench_with_input(
-            BenchmarkId::new("unbounded", pages),
-            &pages,
-            |b, &pages| {
-                let mut m = touched_machine(pages);
-                let mut sc = ABitScanner::new(ABitConfig::unbounded());
-                b.iter(|| {
-                    sc.scan_process(&mut m, 1);
-                    black_box(sc.stats().ptes_visited)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("unbounded", pages), &pages, |b, &pages| {
+            let mut m = touched_machine(pages);
+            let mut sc = ABitScanner::new(ABitConfig::unbounded());
+            b.iter(|| {
+                sc.scan_process(&mut m, 1);
+                black_box(sc.stats().ptes_visited)
+            });
+        });
     }
     // The restrictive mode caps the cost regardless of footprint.
     for pages in [8192u64, 65536] {
@@ -70,7 +66,15 @@ fn bench_trace_rates(c: &mut Criterion) {
                     let mut rng = Rng::new(3);
                     for _ in 0..20_000 {
                         let va = VirtAddr(rng.below(2048) * PAGE_SIZE);
-                        m.exec_op(0, 1, WorkOp::Mem { va, store: false, site: 0 });
+                        m.exec_op(
+                            0,
+                            1,
+                            WorkOp::Mem {
+                                va,
+                                store: false,
+                                site: 0,
+                            },
+                        );
                     }
                     prof.poll(&mut m);
                     black_box(prof.stats().counted_samples)
@@ -90,7 +94,11 @@ fn bench_hwpc(c: &mut Criterion) {
         m.touch(0, 1, VirtAddr(0x1000));
         let mut mon = HwpcMonitor::new(
             &m,
-            vec![PmuEvent::LlcMisses, PmuEvent::PtwWalks, PmuEvent::RetiredOps],
+            vec![
+                PmuEvent::LlcMisses,
+                PmuEvent::PtwWalks,
+                PmuEvent::RetiredOps,
+            ],
         );
         b.iter(|| black_box(mon.read(&m)));
     });

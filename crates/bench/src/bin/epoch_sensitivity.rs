@@ -7,10 +7,9 @@
 //! length: too-short epochs chase noise (migration churn, sparse
 //! profiles), too-long epochs react late to phase changes.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::scaled_config;
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{pct, Table};
 use tmprof_core::profiler::{Tmp, TmpConfig};
 use tmprof_core::rank::RankSource;
@@ -71,24 +70,15 @@ fn main() {
     let scale = Scale::from_env();
     // Phase-heavy + stable workloads for contrast.
     let workloads = [
-        WorkloadKind::DataCaching,   // stable Zipf heat
-        WorkloadKind::Graph500,      // pulsing BFS frontiers
+        WorkloadKind::DataCaching,    // stable Zipf heat
+        WorkloadKind::Graph500,       // pulsing BFS frontiers
         WorkloadKind::GraphAnalytics, // buffer-swapping supersteps
-        WorkloadKind::WebServing,    // stable hot set
+        WorkloadKind::WebServing,     // stable hot set
     ];
 
-    let cells: Vec<(WorkloadKind, u64, Cell)> = workloads
-        .par_iter()
-        .flat_map(|&kind| {
-            EPOCH_LENGTHS
-                .par_iter()
-                .map(move |&len| {
-                    let scale = scale;
-                    (kind, len, run(kind, &scale, len))
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let cells = Sweep::grid(workloads.to_vec(), EPOCH_LENGTHS.to_vec())
+        .run(|&kind, &len| run(kind, &scale, len));
+    cells.log_summary("epoch_sensitivity");
 
     let mut table = Table::new(vec![
         "Workload",
@@ -98,11 +88,7 @@ fn main() {
     ]);
     for kind in workloads {
         for len in EPOCH_LENGTHS {
-            let cell = &cells
-                .iter()
-                .find(|(k, l, _)| *k == kind && *l == len)
-                .unwrap()
-                .2;
+            let cell = cells.value(&kind, &len);
             table.row(vec![
                 kind.name().to_string(),
                 format!("2^{}", len.trailing_zeros()),

@@ -6,10 +6,9 @@
 //! source. This binary runs every Table III workload and prints the ratio,
 //! plus the raw event counts it is computed from.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, Table};
 use tmprof_workloads::spec::WorkloadKind;
 
@@ -17,10 +16,9 @@ fn main() {
     let scale = Scale::from_env();
     let opts = RunOptions::new(scale);
 
-    let runs: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| run_workload(kind, &opts))
-        .collect();
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| run_workload(kind, &opts));
+    sweep.log_summary("fig2_ptw_ratio");
+    let runs: Vec<_> = sweep.successes().map(|(_, _, run)| run).collect();
 
     let mut table = Table::new(vec![
         "Workload",

@@ -4,21 +4,19 @@
 //! to top; each cell shades by how many IBS samples landed in that address
 //! bucket during that epoch. Writes per-workload CSVs for plotting.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions};
 use tmprof_bench::heatmap::Heatmap;
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_workloads::spec::WorkloadKind;
 
 fn main() {
     let scale = Scale::from_env();
     let opts = RunOptions::new(scale).dense().with_rate(4).recording();
 
-    let runs: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| run_workload(kind, &opts))
-        .collect();
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| run_workload(kind, &opts));
+    sweep.log_summary("fig3_heatmap_ibs");
+    let runs: Vec<_> = sweep.successes().map(|(_, _, run)| run).collect();
 
     println!("Fig. 3 — heatmaps of memory accesses, IBS 4x sampling\n");
     for run in &runs {

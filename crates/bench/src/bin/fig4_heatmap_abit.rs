@@ -5,11 +5,10 @@
 //! broad, lightly-touched footprints show up here even when sampled traces
 //! miss them. Same axes as Fig. 3.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
 use tmprof_bench::heatmap::Heatmap;
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_workloads::spec::WorkloadKind;
 
 fn main() {
@@ -18,10 +17,9 @@ fn main() {
         .with_mode(ProfMode::ABitOnly)
         .recording();
 
-    let runs: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| run_workload(kind, &opts))
-        .collect();
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| run_workload(kind, &opts));
+    sweep.log_summary("fig4_heatmap_abit");
+    let runs: Vec<_> = sweep.successes().map(|(_, _, run)| run).collect();
 
     println!("Fig. 4 — heatmaps of memory accesses, A-bit profiling\n");
     for run in &runs {

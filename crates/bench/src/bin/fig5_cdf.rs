@@ -8,10 +8,9 @@
 //! and A-bit-only profiling classifies under 10% of TLB-miss-heavy pages
 //! as hot — visibility that the combined profiler recovers.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, Table};
 use tmprof_core::report::{cdf_points, heat_concentration};
 use tmprof_workloads::spec::WorkloadKind;
@@ -29,37 +28,30 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 fn main() {
     let scale = Scale::from_env();
 
-    let runs: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .flat_map(|&kind| {
-            RATES
-                .par_iter()
-                .map(move |&rate| (kind, rate, run_workload(kind, &RunOptions::new(scale).dense().with_rate(rate))))
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let runs = Sweep::grid(WorkloadKind::ALL.to_vec(), RATES.to_vec())
+        .run(|&kind, &rate| run_workload(kind, &RunOptions::new(scale).dense().with_rate(rate)));
+    runs.log_summary("fig5_cdf");
 
     println!("Fig. 5 — per-page access-count distributions\n");
     let mut table = Table::new(vec![
-        "Workload", "method", "pages", "p50", "p90", "p99", "max", "top10% share",
+        "Workload",
+        "method",
+        "pages",
+        "p50",
+        "p90",
+        "p99",
+        "max",
+        "top10% share",
     ]);
     let mut csv = String::from("workload,method,count,cum_frac\n");
 
     for kind in WorkloadKind::ALL {
         // A-bit distribution is rate-independent; take it from the 4x run.
-        let run4 = &runs
-            .iter()
-            .find(|(k, r, _)| *k == kind && *r == 4)
-            .unwrap()
-            .2;
+        let run4 = runs.value(&kind, &4);
         let mut methods: Vec<(String, Vec<u64>)> =
             vec![("A-bit".to_string(), run4.abit_page_counts.clone())];
         for rate in RATES {
-            let run = &runs
-                .iter()
-                .find(|(k, r, _)| *k == kind && *r == rate)
-                .unwrap()
-                .2;
+            let run = runs.value(&kind, &rate);
             methods.push((format!("IBS {rate}x"), run.trace_page_counts.clone()));
         }
         for (label, mut counts) in methods {

@@ -8,10 +8,9 @@
 //! policy gains from combined vs piecemeal data (paper: up to 70%) and the
 //! same for History (paper: up to 60%).
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{pct, Table};
 use tmprof_core::rank::RankSource;
 use tmprof_policy::hitrate::{replay_hitrate, ReplayPolicy, PAPER_RATIOS};
@@ -21,9 +20,11 @@ fn main() {
     let scale = Scale::from_env();
     let opts = RunOptions::new(scale).dense().with_rate(4);
 
-    let runs: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| (kind, run_workload(kind, &opts)))
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| run_workload(kind, &opts));
+    sweep.log_summary("fig6_hitrate");
+    let runs: Vec<_> = sweep
+        .successes()
+        .map(|(&kind, _, run)| (kind, run))
         .collect();
 
     println!("Fig. 6 — tier-1 hitrate, epoch = 1 simulated second\n");
@@ -63,7 +64,12 @@ fn main() {
                     ));
                 }
             }
-            let ft = replay_hitrate(&run.log, ReplayPolicy::FirstTouch, RankSource::Combined, capacity);
+            let ft = replay_hitrate(
+                &run.log,
+                ReplayPolicy::FirstTouch,
+                RankSource::Combined,
+                capacity,
+            );
             row.push(pct(ft));
             csv.push_str(&format!("{},{denom},First-touch,-,{ft:.6}\n", kind.name()));
             table.row(row);
@@ -74,8 +80,8 @@ fn main() {
                 (ReplayPolicy::History, &mut best_history_gain),
             ] {
                 let combined = cells[&(policy, RankSource::Combined)];
-                let piecemeal = cells[&(policy, RankSource::ABit)]
-                    .max(cells[&(policy, RankSource::Trace)]);
+                let piecemeal =
+                    cells[&(policy, RankSource::ABit)].max(cells[&(policy, RankSource::Trace)]);
                 if piecemeal > 0.0 {
                     let gain = combined / piecemeal - 1.0;
                     if gain > best.0 {

@@ -5,10 +5,9 @@
 //! each configuration as the cycle inflation over the unprofiled run. The
 //! paper's bounds: A-bit < 1%, IBS default < 2%, IBS 4x < 5%.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{pct, Table};
 use tmprof_workloads::spec::WorkloadKind;
 
@@ -23,45 +22,36 @@ enum Config {
 fn main() {
     let scale = Scale::from_env();
 
-    let configs = [Config::None, Config::ABit, Config::IbsDefault, Config::Ibs4x];
-    let cells: Vec<(WorkloadKind, Config, u64)> = WorkloadKind::ALL
-        .par_iter()
-        .flat_map(|&kind| {
-            configs
-                .par_iter()
-                .map(move |&cfg| {
-                    // The overhead study runs in the paper's sparse-rate
-                    // regime: our 1x period stands in for the paper's
-                    // 1/262144 in the same samples-per-runtime proportion,
-                    // so it sits 4x above the (already sparse) scale default
-                    // rather than at the coverage experiments' dense rate.
-                    let sparse = scale.base_period * 4;
-                    let opts = match cfg {
-                        Config::None => RunOptions::new(scale).with_mode(ProfMode::None),
-                        Config::ABit => RunOptions::new(scale).with_mode(ProfMode::ABitOnly),
-                        Config::IbsDefault => RunOptions::new(scale)
-                            .with_mode(ProfMode::TraceOnly)
-                            .with_base_period(sparse)
-                            .with_rate(1),
-                        Config::Ibs4x => RunOptions::new(scale)
-                            .with_mode(ProfMode::TraceOnly)
-                            .with_base_period(sparse)
-                            .with_rate(4),
-                    };
-                    let run = run_workload(kind, &opts);
-                    (kind, cfg, run.counts.cycles)
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    let configs = [
+        Config::None,
+        Config::ABit,
+        Config::IbsDefault,
+        Config::Ibs4x,
+    ];
+    let cells = Sweep::grid(WorkloadKind::ALL.to_vec(), configs.to_vec()).run(|&kind, &cfg| {
+        // The overhead study runs in the paper's sparse-rate
+        // regime: our 1x period stands in for the paper's
+        // 1/262144 in the same samples-per-runtime proportion,
+        // so it sits 4x above the (already sparse) scale default
+        // rather than at the coverage experiments' dense rate.
+        let sparse = scale.base_period * 4;
+        let opts = match cfg {
+            Config::None => RunOptions::new(scale).with_mode(ProfMode::None),
+            Config::ABit => RunOptions::new(scale).with_mode(ProfMode::ABitOnly),
+            Config::IbsDefault => RunOptions::new(scale)
+                .with_mode(ProfMode::TraceOnly)
+                .with_base_period(sparse)
+                .with_rate(1),
+            Config::Ibs4x => RunOptions::new(scale)
+                .with_mode(ProfMode::TraceOnly)
+                .with_base_period(sparse)
+                .with_rate(4),
+        };
+        run_workload(kind, &opts).counts.cycles
+    });
+    cells.log_summary("overhead_table");
 
-    let cycles = |kind: WorkloadKind, cfg: Config| -> u64 {
-        cells
-            .iter()
-            .find(|(k, c, _)| *k == kind && *c == cfg)
-            .expect("cell")
-            .2
-    };
+    let cycles = |kind: WorkloadKind, cfg: Config| -> u64 { *cells.value(&kind, &cfg) };
 
     let mut table = Table::new(vec![
         "Workload",

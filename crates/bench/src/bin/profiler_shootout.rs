@@ -2,26 +2,26 @@
 //! fault tracking vs Thermostat-style sampled BadgerTrap classification,
 //! scored on hot-page recall and runtime overhead per workload.
 
-use rayon::prelude::*;
-
 use tmprof_bench::scale::Scale;
 use tmprof_bench::shootout::{score_autonuma, score_thermostat, score_tmp, Scorecard};
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{pct, Table};
 use tmprof_workloads::spec::WorkloadKind;
 
 fn main() {
     let scale = Scale::from_env();
 
-    let rows: Vec<(WorkloadKind, Scorecard, Scorecard, Scorecard)> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| {
-            (
-                kind,
-                score_tmp(kind, &scale),
-                score_autonuma(kind, &scale),
-                score_thermostat(kind, &scale),
-            )
-        })
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| {
+        (
+            score_tmp(kind, &scale),
+            score_autonuma(kind, &scale),
+            score_thermostat(kind, &scale),
+        )
+    });
+    sweep.log_summary("profiler_shootout");
+    let rows: Vec<(WorkloadKind, &Scorecard, &Scorecard, &Scorecard)> = sweep
+        .successes()
+        .map(|(&kind, _, (tmp, numa, th))| (kind, tmp, numa, th))
         .collect();
 
     let mut table = Table::new(vec![

@@ -6,10 +6,9 @@
 //! constants) and report the speedup. Paper result: 1.04x average, 1.13x
 //! best case.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::scaled_config;
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, pct, Table};
 use tmprof_core::profiler::TmpConfig;
 use tmprof_emul::emulator::EmulConfig;
@@ -50,13 +49,15 @@ fn one_run(kind: WorkloadKind, scale: &Scale, policy: EmulPolicy) -> tmprof_emul
 fn main() {
     let scale = Scale::from_env();
 
-    let results: Vec<_> = WorkloadKind::ALL
-        .par_iter()
-        .map(|&kind| {
-            let base = one_run(kind, &scale, EmulPolicy::FirstTouch);
-            let opt = one_run(kind, &scale, EmulPolicy::TmpHistory);
-            (kind, base, opt)
-        })
+    let sweep = Sweep::over(WorkloadKind::ALL.to_vec()).run(|&kind, _| {
+        let base = one_run(kind, &scale, EmulPolicy::FirstTouch);
+        let opt = one_run(kind, &scale, EmulPolicy::TmpHistory);
+        (base, opt)
+    });
+    sweep.log_summary("speedup_emulation");
+    let results: Vec<_> = sweep
+        .successes()
+        .map(|(&kind, _, (base, opt))| (kind, base, opt))
         .collect();
 
     let mut table = Table::new(vec![

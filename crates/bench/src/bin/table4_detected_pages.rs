@@ -5,10 +5,9 @@
 //! table: the visibility improvement of 4x over the default rate (paper:
 //! 2.58x average) and of 8x over 4x (paper: <40%).
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions, WorkloadRun};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, Table};
 use tmprof_workloads::spec::WorkloadKind;
 
@@ -17,31 +16,26 @@ const RATES: [u64; 3] = [1, 4, 8];
 fn main() {
     let scale = Scale::from_env();
 
-    // One run per workload × rate, fanned across cores.
-    let cells: Vec<(WorkloadKind, u64, WorkloadRun)> = WorkloadKind::ALL
-        .par_iter()
-        .flat_map(|&kind| {
-            RATES
-                .par_iter()
-                .map(move |&rate| {
-                    let opts = RunOptions::new(scale).dense().with_rate(rate);
-                    (kind, rate, run_workload(kind, &opts))
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+    // One run per workload × rate, fanned across the sweep worker pool.
+    let cells = Sweep::grid(WorkloadKind::ALL.to_vec(), RATES.to_vec()).run(|&kind, &rate| {
+        let opts = RunOptions::new(scale).dense().with_rate(rate);
+        run_workload(kind, &opts)
+    });
+    cells.log_summary("table4_detected_pages");
 
-    let get = |kind: WorkloadKind, rate: u64| -> &WorkloadRun {
-        &cells
-            .iter()
-            .find(|(k, r, _)| *k == kind && *r == rate)
-            .expect("cell exists")
-            .2
-    };
+    let get = |kind: WorkloadKind, rate: u64| -> &WorkloadRun { cells.value(&kind, &rate) };
 
     let mut table = Table::new(vec![
-        "Workload", "A-bit(1x)", "IBS(1x)", "Both(1x)", "A-bit(4x)", "IBS(4x)", "Both(4x)",
-        "A-bit(8x)", "IBS(8x)", "Both(8x)",
+        "Workload",
+        "A-bit(1x)",
+        "IBS(1x)",
+        "Both(1x)",
+        "A-bit(4x)",
+        "IBS(4x)",
+        "Both(4x)",
+        "A-bit(8x)",
+        "IBS(8x)",
+        "Both(8x)",
     ]);
     for kind in WorkloadKind::ALL {
         let mut row = vec![kind.name().to_string()];

@@ -9,10 +9,9 @@
 //! its per-page resolution. Run the HPC workloads with and without THP
 //! and compare detections.
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::{run_workload, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, Table};
 use tmprof_workloads::spec::WorkloadKind;
 
@@ -25,13 +24,15 @@ fn main() {
         WorkloadKind::XsBench,
     ];
 
-    let rows: Vec<_> = hpc
-        .par_iter()
-        .map(|&kind| {
-            let base = run_workload(kind, &RunOptions::new(scale).dense());
-            let thp = run_workload(kind, &RunOptions::new(scale).dense().with_thp());
-            (kind, base, thp)
-        })
+    let sweep = Sweep::over(hpc.to_vec()).run(|&kind, _| {
+        let base = run_workload(kind, &RunOptions::new(scale).dense());
+        let thp = run_workload(kind, &RunOptions::new(scale).dense().with_thp());
+        (base, thp)
+    });
+    sweep.log_summary("thp_ablation");
+    let rows: Vec<_> = sweep
+        .successes()
+        .map(|(&kind, _, (base, thp))| (kind, base, thp))
         .collect();
 
     let mut table = Table::new(vec![

@@ -14,10 +14,9 @@
 
 use std::collections::HashMap;
 
-use rayon::prelude::*;
-
 use tmprof_bench::harness::scaled_config;
 use tmprof_bench::scale::Scale;
+use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{f, pct, Table};
 use tmprof_core::profiler::{Tmp, TmpConfig};
 use tmprof_core::rank::RankSource;
@@ -46,9 +45,17 @@ fn asymmetric_machine(cores: usize, t1: u64, t2: u64, period: u64) -> Machine {
         caches: CacheProfile::scaled_down(16),
         latency: LatencyConfig::default(),
         memory: TieredMemory::new(
-            TierSpec { frames: t1, load_latency: 320, store_latency: 320 },
+            TierSpec {
+                frames: t1,
+                load_latency: 320,
+                store_latency: 320,
+            },
             // NVM: 3.75x slower reads, 12.5x slower writes (PCM-like).
-            TierSpec { frames: t2, load_latency: 1200, store_latency: 4000 },
+            TierSpec {
+                frames: t2,
+                load_latency: 1200,
+                store_latency: 4000,
+            },
         ),
         trace_mode: TraceMode::IbsOp { period },
     })
@@ -121,13 +128,15 @@ fn main() {
         WorkloadKind::Lulesh,
     ];
 
-    let rows: Vec<_> = workloads
-        .par_iter()
-        .map(|&kind| {
-            let h = run(kind, &scale, false);
-            let w = run(kind, &scale, true);
-            (kind, h, w)
-        })
+    let sweep = Sweep::over(workloads.to_vec()).run(|&kind, _| {
+        let h = run(kind, &scale, false);
+        let w = run(kind, &scale, true);
+        (h, w)
+    });
+    sweep.log_summary("write_policy_ablation");
+    let rows: Vec<_> = sweep
+        .successes()
+        .map(|(&kind, _, (h, w))| (kind, h, w))
         .collect();
 
     let mut table = Table::new(vec![

@@ -181,8 +181,7 @@ pub fn run_workload(kind: WorkloadKind, opts: &RunOptions) -> WorkloadRun {
             base
         }
     };
-    let mut machine =
-        profiling_machine_with_slack(&cfg, &opts.scale, trace_cfg.period(), opts.thp);
+    let mut machine = profiling_machine_with_slack(&cfg, &opts.scale, trace_cfg.period(), opts.thp);
 
     // Spawn processes + streams.
     let mut gens = cfg.spawn();
@@ -196,9 +195,7 @@ pub fn run_workload(kind: WorkloadKind, opts: &RunOptions) -> WorkloadRun {
 
     // Arm the requested mechanisms.
     let mut trace = match opts.mode {
-        ProfMode::TraceOnly | ProfMode::Both => {
-            Some(TraceProfiler::new(trace_cfg, &mut machine))
-        }
+        ProfMode::TraceOnly | ProfMode::Both => Some(TraceProfiler::new(trace_cfg, &mut machine)),
         _ => {
             // Leave the engines disabled.
             for core in 0..machine.num_cores() {
@@ -217,7 +214,7 @@ pub fn run_workload(kind: WorkloadKind, opts: &RunOptions) -> WorkloadRun {
     };
 
     let mut log = ReplayLog::default();
-    let mut both_seen: std::collections::HashSet<u64> = Default::default();
+    let mut both_seen = tmprof_sim::keymap::PageSet::new();
 
     for _epoch in 0..opts.scale.epochs {
         {
@@ -235,12 +232,15 @@ pub fn run_workload(kind: WorkloadKind, opts: &RunOptions) -> WorkloadRun {
             a.scan(&mut machine, &pids);
         }
         let profile = EpochProfile::capture(machine.descs());
-        let abit_set = abit.as_mut().map(|a| a.take_epoch_pages()).unwrap_or_default();
+        let abit_set = abit
+            .as_mut()
+            .map(|a| a.take_epoch_pages())
+            .unwrap_or_default();
         let trace_set = trace
             .as_mut()
             .map(|t| t.take_epoch_pages())
             .unwrap_or_default();
-        both_seen.extend(abit_set.intersection(&trace_set).copied());
+        both_seen.merge_unsorted(abit_set.intersection(&trace_set).collect());
         machine.descs_mut().reset_epoch();
         let truth = machine.advance_epoch();
         log.epochs.push(ReplayEpoch {
@@ -268,11 +268,7 @@ pub fn run_workload(kind: WorkloadKind, opts: &RunOptions) -> WorkloadRun {
         both: both_seen.len(),
     };
     let both_cumulative = match (&abit, &trace) {
-        (Some(a), Some(t)) => a
-            .seen_pages()
-            .iter()
-            .filter(|k| t.seen_pages().contains(k))
-            .count(),
+        (Some(a), Some(t)) => a.seen_pages().intersection_count(t.seen_pages()),
         _ => 0,
     };
 
@@ -326,10 +322,16 @@ mod tests {
 
     #[test]
     fn single_modes_only_use_their_mechanism() {
-        let a = run_workload(WorkloadKind::WebServing, &quick().with_mode(ProfMode::ABitOnly));
+        let a = run_workload(
+            WorkloadKind::WebServing,
+            &quick().with_mode(ProfMode::ABitOnly),
+        );
         assert!(a.detection.abit > 0);
         assert_eq!(a.detection.trace, 0);
-        let t = run_workload(WorkloadKind::WebServing, &quick().with_mode(ProfMode::TraceOnly));
+        let t = run_workload(
+            WorkloadKind::WebServing,
+            &quick().with_mode(ProfMode::TraceOnly),
+        );
         assert_eq!(t.detection.abit, 0);
         assert!(t.detection.trace > 0);
     }

@@ -25,9 +25,11 @@ pub mod harness;
 pub mod heatmap;
 pub mod scale;
 pub mod shootout;
+pub mod sweep;
 pub mod table;
 
 pub use harness::{run_workload, ProfMode, RunOptions, WorkloadRun};
 pub use heatmap::Heatmap;
 pub use scale::Scale;
+pub use sweep::{Sweep, SweepResults};
 pub use table::Table;

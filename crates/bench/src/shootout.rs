@@ -16,6 +16,7 @@
 //! visibility costs more and sees less (hot pages hide behind the TLB).
 
 use std::collections::HashMap;
+use std::hash::BuildHasher;
 
 use tmprof_profilers::autonuma::{AutoNumaConfig, AutoNumaScanner};
 use tmprof_profilers::thermostat::{Thermostat, ThermostatConfig};
@@ -38,28 +39,46 @@ pub struct Scorecard {
     pub pages_seen: usize,
 }
 
+/// Hottest-`n` keys of a count map, ties broken by key for determinism.
+fn top_n<S: BuildHasher>(m: &HashMap<u64, u64, S>, n: usize) -> Vec<u64> {
+    let mut v: Vec<(u64, u64)> = m.iter().map(|(&k, &c)| (k, c)).collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.into_iter().take(n).map(|(k, _)| k).collect()
+}
+
 /// Access-weighted coverage: traffic captured by `estimate`'s top-N
 /// divided by traffic captured by `truth`'s own top-N (the oracle ceiling).
-pub fn coverage_at_n(truth: &HashMap<u64, u64>, estimate: &HashMap<u64, u64>, n: usize) -> f64 {
+/// Generic over the maps' hashers so both std maps and the simulator's
+/// [`tmprof_sim::keymap::KeyMap`] work.
+pub fn coverage_at_n<S1, S2>(
+    truth: &HashMap<u64, u64, S1>,
+    estimate: &HashMap<u64, u64, S2>,
+    n: usize,
+) -> f64
+where
+    S1: BuildHasher,
+    S2: BuildHasher,
+{
     if n == 0 || truth.is_empty() {
         return 0.0;
     }
-    let top = |m: &HashMap<u64, u64>| -> Vec<u64> {
-        let mut v: Vec<(u64, u64)> = m.iter().map(|(&k, &c)| (k, c)).collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        v.into_iter().take(n).map(|(k, _)| k).collect()
-    };
     let traffic = |keys: &[u64]| -> u64 {
-        keys.iter().map(|k| truth.get(k).copied().unwrap_or(0)).sum()
+        keys.iter()
+            .map(|k| truth.get(k).copied().unwrap_or(0))
+            .sum()
     };
-    let ceiling = traffic(&top(truth));
+    let ceiling = traffic(&top_n(truth, n));
     if ceiling == 0 {
         return 0.0;
     }
-    traffic(&top(estimate)) as f64 / ceiling as f64
+    traffic(&top_n(estimate, n)) as f64 / ceiling as f64
 }
 
-fn spawn_into(machine: &mut Machine, kind: WorkloadKind, scale: &Scale) -> (Vec<Box<dyn OpStream + Send>>, Vec<Pid>) {
+fn spawn_into(
+    machine: &mut Machine,
+    kind: WorkloadKind,
+    scale: &Scale,
+) -> (Vec<Box<dyn OpStream + Send>>, Vec<Pid>) {
     let cfg = scaled_config(kind, scale);
     let gens = cfg.spawn();
     let pids: Vec<Pid> = (1..=gens.len() as Pid).collect();

@@ -1,0 +1,367 @@
+//! Shared parallel sweep engine for the experiment binaries.
+//!
+//! Every `src/bin/*` artifact runs a grid of (workload × configuration)
+//! cells. This module centralizes the fan-out that used to be hand-rolled
+//! per binary:
+//!
+//! * a fixed pool of worker threads pulls cells off a shared queue
+//!   (bounded by [`Sweep::workers`] or the `TMPROF_SWEEP_WORKERS`
+//!   environment variable, defaulting to the machine's parallelism);
+//! * each cell is timed individually;
+//! * a panicking cell is captured as a [`CellFailure`] instead of tearing
+//!   down the whole sweep — every other cell still completes and the
+//!   binary decides how to react.
+//!
+//! Results come back in deterministic row-major grid order (workload-major,
+//! then parameter), independent of which worker finished first.
+//!
+//! ```no_run
+//! use tmprof_bench::sweep::Sweep;
+//!
+//! let results = Sweep::grid(vec!["a", "b"], vec![1u64, 4, 8])
+//!     .run(|w, r| format!("{w}@{r}"));
+//! results.log_summary("demo");
+//! for (w, r, out) in results.successes() {
+//!     println!("{w} {r} -> {out}");
+//! }
+//! ```
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the worker-thread count.
+pub const WORKERS_ENV: &str = "TMPROF_SWEEP_WORKERS";
+
+/// A grid of (workload × parameter) experiment cells.
+pub struct Sweep<W, P> {
+    workloads: Vec<W>,
+    params: Vec<P>,
+    workers: Option<usize>,
+}
+
+impl<W> Sweep<W, ()> {
+    /// Single-axis sweep: one cell per workload.
+    pub fn over(workloads: impl Into<Vec<W>>) -> Self {
+        Self::grid(workloads, vec![()])
+    }
+}
+
+impl<W, P> Sweep<W, P> {
+    /// Two-axis sweep: one cell per (workload, parameter) pair.
+    pub fn grid(workloads: impl Into<Vec<W>>, params: impl Into<Vec<P>>) -> Self {
+        Self {
+            workloads: workloads.into(),
+            params: params.into(),
+            workers: None,
+        }
+    }
+
+    /// Cap the worker pool (overrides `TMPROF_SWEEP_WORKERS`).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
+        self
+    }
+
+    fn resolve_workers(&self, cells: usize) -> usize {
+        let configured = self.workers.or_else(|| {
+            std::env::var(WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        });
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        configured.unwrap_or(hw).min(cells).max(1)
+    }
+}
+
+impl<W, P> Sweep<W, P>
+where
+    W: Clone + PartialEq + Debug + Sync,
+    P: Clone + PartialEq + Debug + Sync,
+{
+    /// Run `cell` for every grid point on the worker pool.
+    pub fn run<T, F>(self, cell: F) -> SweepResults<W, P, T>
+    where
+        T: Send,
+        F: Fn(&W, &P) -> T + Sync,
+    {
+        let n = self.workloads.len() * self.params.len();
+        let workers = self.resolve_workers(n);
+        let started = Instant::now();
+
+        let slots: Vec<Mutex<Option<(Duration, Result<T, String>)>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let w = &self.workloads[i / self.params.len()];
+                    let p = &self.params[i % self.params.len()];
+                    let cell_start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| cell(w, p)))
+                        .map_err(|payload| panic_message(payload.as_ref()));
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some((cell_start.elapsed(), outcome));
+                });
+            }
+        });
+
+        let cells = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let (elapsed, outcome) = slot
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every queued cell ran");
+                SweepCell {
+                    workload: self.workloads[i / self.params.len()].clone(),
+                    param: self.params[i % self.params.len()].clone(),
+                    elapsed,
+                    outcome,
+                }
+            })
+            .collect();
+
+        SweepResults {
+            cells,
+            workers,
+            wall_time: started.elapsed(),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "cell panicked with a non-string payload".to_string()
+    }
+}
+
+/// One completed grid point.
+pub struct SweepCell<W, P, T> {
+    pub workload: W,
+    pub param: P,
+    pub elapsed: Duration,
+    /// `Ok(output)` or the captured panic message.
+    pub outcome: Result<T, String>,
+}
+
+/// A failed cell, for reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellFailure {
+    pub label: String,
+    pub message: String,
+    pub elapsed: Duration,
+}
+
+/// All cells of a finished sweep, in row-major grid order.
+pub struct SweepResults<W, P, T> {
+    cells: Vec<SweepCell<W, P, T>>,
+    workers: usize,
+    wall_time: Duration,
+}
+
+impl<W, P, T> SweepResults<W, P, T>
+where
+    W: PartialEq + Debug,
+    P: PartialEq + Debug,
+{
+    /// Number of grid points (including failures).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Worker threads the sweep actually used.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// End-to-end wall time of the sweep.
+    pub fn wall_time(&self) -> Duration {
+        self.wall_time
+    }
+
+    /// All cells, successes and failures, in grid order.
+    pub fn cells(&self) -> &[SweepCell<W, P, T>] {
+        &self.cells
+    }
+
+    /// Successful cells in grid order.
+    pub fn successes(&self) -> impl Iterator<Item = (&W, &P, &T)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.outcome.as_ref().ok().map(|t| (&c.workload, &c.param, t)))
+    }
+
+    /// Captured failures in grid order.
+    pub fn failures(&self) -> Vec<CellFailure> {
+        self.cells
+            .iter()
+            .filter_map(|c| {
+                c.outcome.as_ref().err().map(|msg| CellFailure {
+                    label: format!("{:?}/{:?}", c.workload, c.param),
+                    message: msg.clone(),
+                    elapsed: c.elapsed,
+                })
+            })
+            .collect()
+    }
+
+    /// Output of one cell, if it ran and succeeded.
+    pub fn get(&self, workload: &W, param: &P) -> Option<&T> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == *workload && c.param == *param)
+            .and_then(|c| c.outcome.as_ref().ok())
+    }
+
+    /// Output of one cell; panics with the captured cell error if the cell
+    /// failed or does not exist.
+    pub fn value(&self, workload: &W, param: &P) -> &T {
+        let cell = self
+            .cells
+            .iter()
+            .find(|c| c.workload == *workload && c.param == *param)
+            .unwrap_or_else(|| panic!("no sweep cell {workload:?}/{param:?}"));
+        match &cell.outcome {
+            Ok(t) => t,
+            Err(msg) => panic!("sweep cell {workload:?}/{param:?} failed: {msg}"),
+        }
+    }
+
+    /// Print a one-line timing summary (plus any failures) to stderr.
+    pub fn log_summary(&self, name: &str) {
+        let slowest = self.cells.iter().max_by_key(|c| c.elapsed);
+        let slowest = slowest
+            .map(|c| {
+                format!(
+                    " (slowest {:?}/{:?}: {:.2}s)",
+                    c.workload,
+                    c.param,
+                    c.elapsed.as_secs_f64()
+                )
+            })
+            .unwrap_or_default();
+        eprintln!(
+            "[sweep {name}] {} cells on {} workers in {:.2}s{}",
+            self.cells.len(),
+            self.workers,
+            self.wall_time.as_secs_f64(),
+            slowest
+        );
+        for failure in self.failures() {
+            eprintln!(
+                "[sweep {name}] FAILED cell {} after {:.2}s: {}",
+                failure.label,
+                failure.elapsed.as_secs_f64(),
+                failure.message
+            );
+        }
+    }
+}
+
+impl<W, T> SweepResults<W, (), T>
+where
+    W: PartialEq + Debug,
+{
+    /// Single-axis accessor (parameter axis is `()`).
+    pub fn value_for(&self, workload: &W) -> &T {
+        self.value(workload, &())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn grid_covers_every_cell_in_row_major_order() {
+        let results = Sweep::grid(vec!["a", "b", "c"], vec![1u64, 2]).run(|w, p| format!("{w}{p}"));
+        assert_eq!(results.len(), 6);
+        let order: Vec<String> = results.successes().map(|(_, _, v)| v.clone()).collect();
+        assert_eq!(order, ["a1", "a2", "b1", "b2", "c1", "c2"]);
+        assert_eq!(results.value(&"b", &2), "b2");
+        assert!(results.failures().is_empty());
+    }
+
+    #[test]
+    fn panicking_cell_is_captured_and_others_complete() {
+        let results = Sweep::grid(vec![1u32, 2, 3], vec![10u32, 20]).run(|&w, &p| {
+            if w == 2 && p == 20 {
+                panic!("injected failure (expected in test output)");
+            }
+            w * p
+        });
+        // The sweep finished; five of six cells succeeded.
+        assert_eq!(results.len(), 6);
+        assert_eq!(results.successes().count(), 5);
+        let failures = results.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].label, "2/20");
+        assert!(failures[0].message.contains("injected failure"));
+        // Neighbors of the failed cell are intact.
+        assert_eq!(*results.value(&2, &10), 20);
+        assert_eq!(*results.value(&3, &20), 60);
+        assert_eq!(results.get(&2, &20), None);
+    }
+
+    #[test]
+    fn value_panics_with_captured_message_for_failed_cell() {
+        let results = Sweep::over(vec![7u32])
+            .run(|_, _| -> u32 { panic!("injected failure (expected in test output)") });
+        let err = catch_unwind(AssertUnwindSafe(|| results.value_for(&7))).unwrap_err();
+        let msg = panic_message(&*err);
+        assert!(msg.contains("injected failure"), "{msg}");
+    }
+
+    #[test]
+    fn worker_knob_bounds_concurrency() {
+        static LIVE: AtomicU32 = AtomicU32::new(0);
+        static PEAK: AtomicU32 = AtomicU32::new(0);
+        let results = Sweep::grid(vec![0u32, 1, 2, 3], vec![0u32, 1])
+            .workers(2)
+            .run(|&w, &p| {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(5));
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+                w * 2 + p
+            });
+        assert_eq!(results.workers(), 2);
+        assert!(PEAK.load(Ordering::SeqCst) <= 2);
+        let seen: HashSet<u32> = results.successes().map(|(_, _, &v)| v).collect();
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn per_cell_timing_is_recorded() {
+        let results = Sweep::over(vec![1u32, 2]).run(|&w, _| {
+            std::thread::sleep(Duration::from_millis(4 * w as u64));
+            w
+        });
+        for cell in results.cells() {
+            assert!(cell.elapsed >= Duration::from_millis(3));
+        }
+        assert!(results.wall_time() >= Duration::from_millis(3));
+    }
+}

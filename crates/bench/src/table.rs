@@ -93,14 +93,7 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(esc)
-                .collect::<Vec<_>>()
-                .join(","),
-        );
+        out.push_str(&self.header.iter().map(esc).collect::<Vec<_>>().join(","));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(esc).collect::<Vec<_>>().join(","));

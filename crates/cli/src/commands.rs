@@ -107,11 +107,26 @@ pub fn cmd_profile(parsed: &Parsed) -> Result<String, CliError> {
         if opts.thp { ", THP" } else { "" },
     ));
     let mut table = Table::new(vec!["metric", "value"]);
-    table.row(vec!["pages detected by A-bit".to_string(), run.detection.abit.to_string()]);
-    table.row(vec!["pages detected by IBS".to_string(), run.detection.trace.to_string()]);
-    table.row(vec!["both (same epoch)".to_string(), run.detection.both.to_string()]);
-    table.row(vec!["LLC misses".to_string(), run.counts.llc_misses.to_string()]);
-    table.row(vec!["page walks".to_string(), run.counts.ptw_walks.to_string()]);
+    table.row(vec![
+        "pages detected by A-bit".to_string(),
+        run.detection.abit.to_string(),
+    ]);
+    table.row(vec![
+        "pages detected by IBS".to_string(),
+        run.detection.trace.to_string(),
+    ]);
+    table.row(vec![
+        "both (same epoch)".to_string(),
+        run.detection.both.to_string(),
+    ]);
+    table.row(vec![
+        "LLC misses".to_string(),
+        run.counts.llc_misses.to_string(),
+    ]);
+    table.row(vec![
+        "page walks".to_string(),
+        run.counts.ptw_walks.to_string(),
+    ]);
     table.row(vec![
         "profiling overhead".to_string(),
         pct(run.counts.profiling_overhead()),
@@ -166,11 +181,36 @@ pub fn cmd_hitrate(parsed: &Parsed) -> Result<String, CliError> {
         let cap = (footprint / denom as usize).max(1);
         table.row(vec![
             format!("1/{denom}"),
-            pct(replay_hitrate(&run.log, ReplayPolicy::Oracle, RankSource::Combined, cap)),
-            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::Combined, cap)),
-            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::ABit, cap)),
-            pct(replay_hitrate(&run.log, ReplayPolicy::History, RankSource::Trace, cap)),
-            pct(replay_hitrate(&run.log, ReplayPolicy::FirstTouch, RankSource::Combined, cap)),
+            pct(replay_hitrate(
+                &run.log,
+                ReplayPolicy::Oracle,
+                RankSource::Combined,
+                cap,
+            )),
+            pct(replay_hitrate(
+                &run.log,
+                ReplayPolicy::History,
+                RankSource::Combined,
+                cap,
+            )),
+            pct(replay_hitrate(
+                &run.log,
+                ReplayPolicy::History,
+                RankSource::ABit,
+                cap,
+            )),
+            pct(replay_hitrate(
+                &run.log,
+                ReplayPolicy::History,
+                RankSource::Trace,
+                cap,
+            )),
+            pct(replay_hitrate(
+                &run.log,
+                ReplayPolicy::FirstTouch,
+                RankSource::Combined,
+                cap,
+            )),
         ]);
     }
     Ok(format!(
@@ -340,9 +380,17 @@ mod tests {
     #[test]
     fn heatmap_renders_ascii() {
         std::env::set_var("TMPROF_SCALE", "quick");
-        let out = run(&["heatmap", "--workload", "lulesh", "--epochs", "2", "--buckets", "8"])
-            .unwrap()
-            .to_string();
+        let out = run(&[
+            "heatmap",
+            "--workload",
+            "lulesh",
+            "--epochs",
+            "2",
+            "--buckets",
+            "8",
+        ])
+        .unwrap()
+        .to_string();
         assert!(out.contains("heatmap of LULESH"));
         assert!(out.contains("time ->"));
     }

@@ -116,7 +116,9 @@ impl ProcessFilter {
         let mut passing: Vec<ProcessUsage> = self
             .usage(machine)
             .into_iter()
-            .filter(|u| u.cpu_share >= self.cfg.min_cpu_share || u.mem_share >= self.cfg.min_mem_share)
+            .filter(|u| {
+                u.cpu_share >= self.cfg.min_cpu_share || u.mem_share >= self.cfg.min_mem_share
+            })
             .collect();
         // Heaviest first for the cap; deterministic tiebreak by PID.
         passing.sort_by(|a, b| {
@@ -179,7 +181,15 @@ mod tests {
         let mut m = machine();
         // PID 2 maps >10% of physical memory (129/1280 frames), then idles.
         for i in 0..140u64 {
-            m.exec_op(1, 2, WorkOp::Mem { va: VirtAddr(i * PAGE_SIZE), store: false, site: 0 });
+            m.exec_op(
+                1,
+                2,
+                WorkOp::Mem {
+                    va: VirtAddr(i * PAGE_SIZE),
+                    store: false,
+                    site: 0,
+                },
+            );
         }
         let mut f = ProcessFilter::new(FilterConfig::default());
         let _ = f.tracked_pids(&m); // consume the first interval

@@ -52,10 +52,7 @@ impl Gating {
     pub fn new(cfg: GatingConfig, machine: &Machine) -> Self {
         Self {
             cfg,
-            monitor: HwpcMonitor::new(
-                machine,
-                vec![PmuEvent::LlcMisses, PmuEvent::PtwWalks],
-            ),
+            monitor: HwpcMonitor::new(machine, vec![PmuEvent::LlcMisses, PmuEvent::PtwWalks]),
             max_llc: 0.0,
             max_tlb: 0.0,
             last: GateDecision {

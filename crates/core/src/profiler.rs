@@ -8,10 +8,9 @@
 //! profile snapshot (per-page observations + ranked hotness) to whatever
 //! policy sits above it.
 
-use std::collections::HashSet;
-
 use tmprof_profilers::abit::{ABitConfig, ABitScanner, ABitStats};
 use tmprof_profilers::trace::{TraceConfig, TraceProfiler, TraceStats};
+use tmprof_sim::keymap::PageSet;
 use tmprof_sim::machine::Machine;
 use tmprof_sim::stats::EpochTruth;
 
@@ -80,7 +79,7 @@ pub struct Tmp {
     gating: Gating,
     /// Union over epochs of per-epoch both-detected sets (Table IV "Both";
     /// see DESIGN.md §7 on the interpretation).
-    both_seen: HashSet<u64>,
+    both_seen: PageSet,
     profiles: Vec<EpochProfile>,
     epochs_closed: u32,
 }
@@ -97,7 +96,7 @@ impl Tmp {
             abit,
             filter: ProcessFilter::new(cfg.filter),
             gating,
-            both_seen: HashSet::new(),
+            both_seen: PageSet::new(),
             profiles: Vec::new(),
             epochs_closed: 0,
         }
@@ -126,8 +125,9 @@ impl Tmp {
         // 4. Per-epoch detection sets (Table IV accounting).
         let abit_set = self.abit.take_epoch_pages();
         let trace_set = self.trace.take_epoch_pages();
-        let both: Vec<u64> = abit_set.intersection(&trace_set).copied().collect();
-        self.both_seen.extend(both.iter().copied());
+        let both: Vec<u64> = abit_set.intersection(&trace_set).collect();
+        let both_pages = both.len();
+        self.both_seen.merge_unsorted(both);
 
         // 5. Gate the expensive mechanisms for the next epoch.
         let gate = self.gating.evaluate(machine);
@@ -146,7 +146,7 @@ impl Tmp {
             truth,
             abit_pages: abit_set.len(),
             trace_pages: trace_set.len(),
-            both_pages: both.len(),
+            both_pages,
             gate,
         }
     }
@@ -171,9 +171,7 @@ impl Tmp {
     pub fn both_pages_cumulative_intersection(&self) -> usize {
         self.trace
             .seen_pages()
-            .iter()
-            .filter(|k| self.abit.seen_pages().contains(k))
-            .count()
+            .intersection_count(self.abit.seen_pages())
     }
 
     /// Recorded per-epoch profiles (empty unless configured).
@@ -317,6 +315,9 @@ mod tests {
         let counts = m.aggregate_counts();
         let overhead = counts.profiling_overhead();
         assert!(overhead > 0.0);
-        assert!(overhead < 0.05, "overhead {overhead} above the paper's bound");
+        assert!(
+            overhead < 0.05,
+            "overhead {overhead} above the paper's bound"
+        );
     }
 }

@@ -8,8 +8,7 @@
 //! the paper's "piecemeal" comparisons (Fig. 6: A-bit alone, IBS alone,
 //! TMP combined).
 
-use std::collections::HashMap;
-
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::Machine;
 use tmprof_sim::pagedesc::{PageDescTable, PageKey};
 
@@ -50,9 +49,9 @@ pub struct RankedPage {
 #[derive(Clone, Debug, Default)]
 pub struct EpochProfile {
     /// A-bit observations per page.
-    pub abit: HashMap<u64, u32>,
+    pub abit: KeyMap<u64, u32>,
     /// Trace samples per page.
-    pub trace: HashMap<u64, u32>,
+    pub trace: KeyMap<u64, u32>,
 }
 
 impl EpochProfile {
@@ -112,7 +111,11 @@ impl EpochProfile {
     /// Number of pages observed by each source and by both
     /// (the per-epoch contribution to Table IV's columns).
     pub fn detection_counts(&self) -> (usize, usize, usize) {
-        let both = self.abit.keys().filter(|k| self.trace.contains_key(k)).count();
+        let both = self
+            .abit
+            .keys()
+            .filter(|k| self.trace.contains_key(k))
+            .count();
         (self.abit.len(), self.trace.len(), both)
     }
 }
@@ -133,7 +136,10 @@ mod tests {
         // entries: (vpn, abit, trace) for pid 1, frame = vpn.
         let mut t = PageDescTable::new(1024);
         for &(vpn, abit, trace) in entries {
-            let key = PageKey { pid: 1, vpn: Vpn(vpn) };
+            let key = PageKey {
+                pid: 1,
+                vpn: Vpn(vpn),
+            };
             t.set_owner(Pfn(vpn), key);
             for _ in 0..abit {
                 t.bump_abit(Pfn(vpn), 0);
@@ -149,7 +155,11 @@ mod tests {
     fn combined_rank_is_plain_sum() {
         let t = table_with(&[(1, 3, 5)]);
         let p = EpochProfile::capture(&t);
-        let k = PageKey { pid: 1, vpn: Vpn(1) }.pack();
+        let k = PageKey {
+            pid: 1,
+            vpn: Vpn(1),
+        }
+        .pack();
         assert_eq!(p.rank_of(k, RankSource::ABit), 3);
         assert_eq!(p.rank_of(k, RankSource::Trace), 5);
         assert_eq!(p.rank_of(k, RankSource::Combined), 8);
@@ -193,9 +203,69 @@ mod tests {
     #[test]
     fn pages_without_observations_are_excluded() {
         let mut t = table_with(&[(1, 1, 1)]);
-        t.set_owner(Pfn(9), PageKey { pid: 1, vpn: Vpn(9) });
+        t.set_owner(
+            Pfn(9),
+            PageKey {
+                pid: 1,
+                vpn: Vpn(9),
+            },
+        );
         let p = EpochProfile::capture(&t);
         assert_eq!(p.ranked(RankSource::Combined).len(), 1);
+    }
+
+    #[test]
+    fn ranked_ordering_is_total_and_deterministic() {
+        // Invariant: ranked() is sorted by (rank desc, key asc) with no
+        // duplicates, so any two captures of the same table agree exactly.
+        let t = table_with(&[(7, 2, 1), (3, 3, 0), (9, 0, 3), (1, 1, 2), (5, 3, 0)]);
+        let p = EpochProfile::capture(&t);
+        for source in RankSource::ALL {
+            let r = p.ranked(source);
+            for w in r.windows(2) {
+                let (a, b) = (&w[0], &w[1]);
+                assert!(
+                    a.rank > b.rank || (a.rank == b.rank && a.key.pack() < b.key.pack()),
+                    "{source:?}: ordering violated between {a:?} and {b:?}"
+                );
+            }
+            let again = p.ranked(source);
+            assert_eq!(r, again, "{source:?}: ranked() not reproducible");
+        }
+    }
+
+    #[test]
+    fn rank_of_agrees_with_ranked_everywhere() {
+        // Invariant: the rank attached to each ranked entry is exactly
+        // rank_of(), and Combined = ABit + Trace for every page.
+        let t = table_with(&[(2, 4, 1), (4, 0, 6), (6, 2, 2)]);
+        let p = EpochProfile::capture(&t);
+        for source in RankSource::ALL {
+            for r in p.ranked(source) {
+                assert_eq!(r.rank, p.rank_of(r.key.pack(), source));
+            }
+        }
+        for r in p.ranked(RankSource::Combined) {
+            let k = r.key.pack();
+            assert_eq!(
+                r.rank,
+                p.rank_of(k, RankSource::ABit) + p.rank_of(k, RankSource::Trace),
+                "combined rank is not the plain sum"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_counts_partition_the_combined_set() {
+        // Invariant: |A| + |T| - |both| = |Combined ranked set|, and the
+        // single-source ranked lengths match the counts.
+        let t = table_with(&[(1, 2, 0), (2, 0, 3), (3, 1, 1), (4, 5, 2), (5, 0, 1)]);
+        let p = EpochProfile::capture(&t);
+        let (a, tr, both) = p.detection_counts();
+        assert_eq!(a, p.ranked(RankSource::ABit).len());
+        assert_eq!(tr, p.ranked(RankSource::Trace).len());
+        assert!(both <= a.min(tr));
+        assert_eq!(a + tr - both, p.ranked(RankSource::Combined).len());
     }
 
     #[test]

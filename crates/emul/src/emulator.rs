@@ -199,8 +199,16 @@ mod tests {
         // Tier 2 at DRAM speed: slowness comes only from injected faults.
         let mut cfg = MachineConfig::scaled(1, 8, 64, 1 << 20);
         cfg.memory = TieredMemory::new(
-            TierSpec { frames: 8, load_latency: 320, store_latency: 320 },
-            TierSpec { frames: 64, load_latency: 320, store_latency: 320 },
+            TierSpec {
+                frames: 8,
+                load_latency: 320,
+                store_latency: 320,
+            },
+            TierSpec {
+                frames: 64,
+                load_latency: 320,
+                store_latency: 320,
+            },
         );
         let mut m = Machine::new(cfg);
         m.add_process(1);
@@ -244,7 +252,11 @@ mod tests {
         let cfg = EmulConfig::default();
         let (mut emu, handler) = NvmEmulator::new(cfg);
         m.set_fault_policy(Some(handler));
-        emu.set_hot_pages([PageKey { pid: 1, vpn: Vpn(9) }.pack()]);
+        emu.set_hot_pages([PageKey {
+            pid: 1,
+            vpn: Vpn(9),
+        }
+        .pack()]);
         emu.protect_slow_pages(&mut m);
         let cold = m.touch(0, 1, VirtAddr(8 * PAGE_SIZE));
         let hot = m.touch(0, 1, VirtAddr(9 * PAGE_SIZE));

@@ -16,9 +16,10 @@
 //! Hitrate for an epoch = true memory accesses to tier-1-resident pages /
 //! all true memory accesses; the run-level number is access-weighted.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use tmprof_core::rank::{EpochProfile, RankSource};
+use tmprof_sim::keymap::KeyMap;
 
 /// One recorded epoch: what the profilers saw + what really happened.
 #[derive(Clone, Debug, Default)]
@@ -26,7 +27,7 @@ pub struct ReplayEpoch {
     /// Per-page profiler observations.
     pub profile: EpochProfile,
     /// True memory-level accesses per packed page key.
-    pub truth_mem: HashMap<u64, u64>,
+    pub truth_mem: KeyMap<u64, u64>,
 }
 
 /// A full recorded run.
@@ -163,7 +164,12 @@ pub fn hitrate_grid(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateC
             policy: ReplayPolicy::FirstTouch,
             source: RankSource::Combined,
             ratio_denominator: denom,
-            hitrate: replay_hitrate(log, ReplayPolicy::FirstTouch, RankSource::Combined, capacity),
+            hitrate: replay_hitrate(
+                log,
+                ReplayPolicy::FirstTouch,
+                RankSource::Combined,
+                capacity,
+            ),
         });
     }
     out
@@ -179,7 +185,11 @@ mod tests {
     use tmprof_sim::pagedesc::PageKey;
 
     fn key(vpn: u64) -> u64 {
-        PageKey { pid: 1, vpn: Vpn(vpn) }.pack()
+        PageKey {
+            pid: 1,
+            vpn: Vpn(vpn),
+        }
+        .pack()
     }
 
     /// A run where page heat rotates each epoch: page e is hot in epoch e.

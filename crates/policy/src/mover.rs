@@ -177,7 +177,11 @@ mod tests {
     }
 
     fn key(vpn: u64) -> u64 {
-        PageKey { pid: 1, vpn: Vpn(vpn) }.pack()
+        PageKey {
+            pid: 1,
+            vpn: Vpn(vpn),
+        }
+        .pack()
     }
 
     #[test]
@@ -218,7 +222,7 @@ mod tests {
     fn demotes_coldest_resident_first() {
         let mut m = machine(2, 16);
         touch_n(&mut m, 4); // 0,1 in tier1
-        // Make page 1 hot, page 0 cold.
+                            // Make page 1 hot, page 0 cold.
         let pfn1 = m.frame_of(1, Vpn(1)).unwrap();
         m.descs_mut().bump_trace(pfn1, 0);
         m.descs_mut().bump_trace(pfn1, 0);
@@ -229,8 +233,16 @@ mod tests {
                 tier1_pages: vec![key(3)],
             },
         );
-        assert_eq!(m.tier_of_page(1, Vpn(0)), Some(Tier::Tier2), "cold page evicted");
-        assert_eq!(m.tier_of_page(1, Vpn(1)), Some(Tier::Tier1), "hot page kept");
+        assert_eq!(
+            m.tier_of_page(1, Vpn(0)),
+            Some(Tier::Tier2),
+            "cold page evicted"
+        );
+        assert_eq!(
+            m.tier_of_page(1, Vpn(1)),
+            Some(Tier::Tier1),
+            "hot page kept"
+        );
         assert_eq!(m.tier_of_page(1, Vpn(3)), Some(Tier::Tier1));
     }
 
@@ -262,7 +274,9 @@ mod tests {
     fn migration_cost_accumulates_in_totals() {
         let mut m = machine(2, 16);
         touch_n(&mut m, 4);
-        let mut mover = PageMover::new(MoverConfig { per_page_cycles: 1000 });
+        let mut mover = PageMover::new(MoverConfig {
+            per_page_cycles: 1000,
+        });
         mover.apply(
             &mut m,
             &Placement {

@@ -94,7 +94,10 @@ mod tests {
     fn profile(entries: &[(u64, u32, u32)]) -> EpochProfile {
         let mut t = PageDescTable::new(256);
         for &(vpn, abit, trace) in entries {
-            let key = PageKey { pid: 1, vpn: Vpn(vpn) };
+            let key = PageKey {
+                pid: 1,
+                vpn: Vpn(vpn),
+            };
             t.set_owner(Pfn(vpn), key);
             for _ in 0..abit {
                 t.bump_abit(Pfn(vpn), 0);
@@ -125,7 +128,11 @@ mod tests {
         let p = profile(&[(1, 5, 0), (2, 0, 9)]);
         let mut abit_only = HistoryPolicy::new(RankSource::ABit);
         let sel = abit_only.select(&p, 10);
-        assert_eq!(sel.tier1_pages.len(), 1, "IBS-only page invisible to A-bit policy");
+        assert_eq!(
+            sel.tier1_pages.len(),
+            1,
+            "IBS-only page invisible to A-bit policy"
+        );
         assert_eq!(PageKey::unpack(sel.tier1_pages[0]).vpn, Vpn(1));
     }
 

@@ -78,11 +78,7 @@ impl PlacementPolicy for WriteAwarePolicy {
             .collect();
         scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         Placement {
-            tier1_pages: scored
-                .into_iter()
-                .take(capacity)
-                .map(|(k, _)| k)
-                .collect(),
+            tier1_pages: scored.into_iter().take(capacity).map(|(k, _)| k).collect(),
         }
     }
 }
@@ -94,7 +90,11 @@ mod tests {
     use tmprof_sim::pagedesc::PageKey;
 
     fn key(vpn: u64) -> u64 {
-        PageKey { pid: 1, vpn: Vpn(vpn) }.pack()
+        PageKey {
+            pid: 1,
+            vpn: Vpn(vpn),
+        }
+        .pack()
     }
 
     fn profile(reads: &[(u64, u32)]) -> EpochProfile {

@@ -1,6 +1,5 @@
 //! Property-based tests for placement policies and the replay evaluator.
 
-
 use proptest::prelude::*;
 
 use tmprof_core::rank::{EpochProfile, RankSource};

@@ -18,9 +18,8 @@
 //!   A-bit overhead under 1% even for 120 GB XSBench — and why Table IV's
 //!   A-bit page counts plateau for the giant-footprint HPC workloads.
 
-use std::collections::HashSet;
-
 use tmprof_sim::addr::Vpn;
+use tmprof_sim::keymap::PageSet;
 use tmprof_sim::machine::Machine;
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::tlb::Pid;
@@ -124,8 +123,10 @@ pub struct ABitScanner {
     cfg: ABitConfig,
     /// Resume cursor per PID for budgeted scans.
     cursors: std::collections::HashMap<Pid, Vpn>,
-    epoch_pages: HashSet<u64>,
-    seen_pages: HashSet<u64>,
+    /// Raw (possibly duplicated) packed keys observed this epoch; sorted
+    /// and deduplicated only when the epoch closes.
+    epoch_pages: Vec<u64>,
+    seen_pages: PageSet,
     heat: Vec<AbitHeatPoint>,
     stats: ABitStats,
     enabled: bool,
@@ -139,8 +140,8 @@ impl ABitScanner {
         Self {
             cfg,
             cursors: std::collections::HashMap::new(),
-            epoch_pages: HashSet::new(),
-            seen_pages: HashSet::new(),
+            epoch_pages: Vec::new(),
+            seen_pages: PageSet::new(),
             heat: Vec::new(),
             stats: ABitStats::default(),
             enabled: true,
@@ -193,14 +194,16 @@ impl ABitScanner {
         // from the top anyway.
         self.cursors.insert(pid, resume.unwrap_or(Vpn(0)));
 
+        let mut batch: Vec<u64> = Vec::with_capacity(observed.len());
         for &(vpn, pfn) in &observed {
             let key = PageKey { pid, vpn };
-            self.epoch_pages.insert(key.pack());
-            self.seen_pages.insert(key.pack());
+            batch.push(key.pack());
             if record {
                 self.heat.push(AbitHeatPoint { epoch, pfn });
             }
         }
+        self.epoch_pages.extend_from_slice(&batch);
+        self.seen_pages.merge_unsorted(batch);
 
         // Cost model: proportional to PTEs traversed (Table I), charged to
         // the core the scanning kthread happens to run on.
@@ -230,12 +233,12 @@ impl ABitScanner {
     }
 
     /// Pages observed this epoch; clears the per-epoch set.
-    pub fn take_epoch_pages(&mut self) -> HashSet<u64> {
-        std::mem::take(&mut self.epoch_pages)
+    pub fn take_epoch_pages(&mut self) -> PageSet {
+        PageSet::from_unsorted(std::mem::take(&mut self.epoch_pages))
     }
 
     /// Pages observed over the whole run (Table IV "A bit" column).
-    pub fn seen_pages(&self) -> &HashSet<u64> {
+    pub fn seen_pages(&self) -> &PageSet {
         &self.seen_pages
     }
 
@@ -329,7 +332,7 @@ mod tests {
         let mut sc = ABitScanner::new(ABitConfig::default().with_budget(100));
         sc.scan_process(&mut m, 1); // covers [0,100)
         sc.scan_process(&mut m, 1); // covers [100,150) and completes
-        // Re-touch everything (TLB may hit for recent pages; force walks).
+                                    // Re-touch everything (TLB may hit for recent pages; force walks).
         m.shootdown(1, &(0..150).map(Vpn).collect::<Vec<_>>(), false);
         touch_pages(&mut m, 150);
         sc.scan_process(&mut m, 1); // wrapped: starts at 0 again

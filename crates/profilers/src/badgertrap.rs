@@ -163,7 +163,11 @@ mod tests {
         for _ in 0..100 {
             m.touch(0, 1, VirtAddr(0x5000));
         }
-        assert_eq!(bt.faults_of(1, Vpn(5)), 1, "TLB-miss proxy undercounts hot pages");
+        assert_eq!(
+            bt.faults_of(1, Vpn(5)),
+            1,
+            "TLB-miss proxy undercounts hot pages"
+        );
         // Force TLB evictions: every re-walk now faults.
         for _ in 0..5 {
             m.shootdown(1, &[Vpn(5)], false);

@@ -29,9 +29,9 @@ pub mod thermostat;
 pub mod trace;
 
 pub use abit::{ABitConfig, ABitScanner};
+pub use autonuma::AutoNumaScanner;
 pub use badgertrap::BadgerTrap;
 pub use hwpc::{HwpcMonitor, PmuEvent};
-pub use autonuma::AutoNumaScanner;
 pub use pml::PmlTracker;
 pub use thermostat::Thermostat;
 pub use trace::{TraceConfig, TraceProfiler};

@@ -158,7 +158,9 @@ mod tests {
         m.shootdown(1, &[Vpn(3)], false);
         {
             let (pt, _, _) = m.scan_parts(1).unwrap();
-            pt.entry_mut(Vpn(3)).unwrap().clear(tmprof_sim::pte::bits::D);
+            pt.entry_mut(Vpn(3))
+                .unwrap()
+                .clear(tmprof_sim::pte::bits::D);
         }
         store(&mut m, 3);
         pml.drain(&mut m);
@@ -199,7 +201,9 @@ mod tests {
         m.shootdown(1, &[Vpn(1)], false);
         {
             let (pt, _, _) = m.scan_parts(1).unwrap();
-            pt.entry_mut(Vpn(1)).unwrap().clear(tmprof_sim::pte::bits::D);
+            pt.entry_mut(Vpn(1))
+                .unwrap()
+                .clear(tmprof_sim::pte::bits::D);
         }
         store(&mut m, 1);
         pml.drain(&mut m);

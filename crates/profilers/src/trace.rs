@@ -9,9 +9,8 @@
 //! Table IV and the raw (epoch, frame) stream used to draw the Fig. 3
 //! heatmaps.
 
-use std::collections::HashSet;
-
 use tmprof_sim::cache::CacheLevel;
+use tmprof_sim::keymap::PageSet;
 use tmprof_sim::machine::Machine;
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::trace_engine::{TraceMode, TraceSample};
@@ -114,10 +113,11 @@ pub struct TraceStats {
 /// The trace-profiling driver.
 pub struct TraceProfiler {
     cfg: TraceConfig,
-    /// Pages (logical) seen this epoch.
-    epoch_pages: HashSet<u64>,
+    /// Raw (possibly duplicated) packed keys seen this epoch; sorted and
+    /// deduplicated only when the epoch closes.
+    epoch_pages: Vec<u64>,
     /// Pages (logical) seen over the whole run.
-    seen_pages: HashSet<u64>,
+    seen_pages: PageSet,
     heat: Vec<HeatPoint>,
     stats: TraceStats,
     enabled: bool,
@@ -133,8 +133,8 @@ impl TraceProfiler {
         }
         Self {
             cfg,
-            epoch_pages: HashSet::new(),
-            seen_pages: HashSet::new(),
+            epoch_pages: Vec::new(),
+            seen_pages: PageSet::new(),
             heat: Vec::new(),
             stats: TraceStats::default(),
             enabled: true,
@@ -175,6 +175,7 @@ impl TraceProfiler {
     /// per epoch (the paper's module polls periodically).
     pub fn poll(&mut self, machine: &mut Machine) {
         let interrupt = machine.config().latency.sample_interrupt;
+        let mut batch: Vec<u64> = Vec::new();
         for core in 0..machine.num_cores() {
             let (samples, info) = machine.trace_engine_mut(core).drain();
             let epoch = machine.epoch();
@@ -196,22 +197,23 @@ impl TraceProfiler {
                     pid: s.pid,
                     vpn: s.vaddr.vpn(),
                 };
-                self.epoch_pages.insert(key.pack());
-                self.seen_pages.insert(key.pack());
+                batch.push(key.pack());
                 if self.cfg.record_samples {
                     self.heat.push(HeatPoint { epoch, pfn });
                 }
             }
         }
+        self.epoch_pages.extend_from_slice(&batch);
+        self.seen_pages.merge_unsorted(batch);
     }
 
     /// Pages detected this epoch; clears the per-epoch set.
-    pub fn take_epoch_pages(&mut self) -> HashSet<u64> {
-        std::mem::take(&mut self.epoch_pages)
+    pub fn take_epoch_pages(&mut self) -> PageSet {
+        PageSet::from_unsorted(std::mem::take(&mut self.epoch_pages))
     }
 
     /// Pages detected over the whole run (Table IV "IBS" column).
-    pub fn seen_pages(&self) -> &HashSet<u64> {
+    pub fn seen_pages(&self) -> &PageSet {
         &self.seen_pages
     }
 

@@ -67,7 +67,10 @@ impl Cache {
         let lines_total = (size_bytes >> LINE_SHIFT) as usize;
         assert!(lines_total >= ways, "{name}: size below one set");
         let sets = lines_total / ways;
-        assert!(sets.is_power_of_two(), "{name}: set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "{name}: set count must be a power of two"
+        );
         Self {
             name,
             sets,

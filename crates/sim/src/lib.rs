@@ -35,6 +35,7 @@ pub mod addr;
 pub mod cache;
 pub mod counters;
 pub mod frame;
+pub mod keymap;
 pub mod machine;
 pub mod pagedesc;
 pub mod pagetable;
@@ -54,9 +55,10 @@ pub mod prelude {
     };
     pub use crate::cache::{Cache, CacheLevel, PrivateCaches};
     pub use crate::counters::EventCounts;
+    pub use crate::keymap::{KeyMap, KeySet, PageSet};
     pub use crate::machine::{
-        CacheProfile, ExecOutcome, FaultAction, FaultPolicy, LatencyConfig, Machine,
-        MachineConfig, MigrateError, PoisonFault, WorkOp,
+        CacheProfile, ExecOutcome, FaultAction, FaultPolicy, LatencyConfig, Machine, MachineConfig,
+        MigrateError, PoisonFault, WorkOp,
     };
     pub use crate::pagedesc::{PageDesc, PageDescTable, PageKey};
     pub use crate::pagetable::PageTable;

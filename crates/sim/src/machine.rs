@@ -15,12 +15,11 @@
 //! the point of the substrate: profilers can only be as right as what the
 //! hardware exposes.
 
-use std::collections::BTreeMap;
-
 use crate::addr::{phys_addr, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
 use crate::cache::{Cache, CacheLevel, PrivateCaches};
 use crate::counters::EventCounts;
 use crate::frame::{FrameAllocator, OutOfMemory};
+use crate::keymap::KeyMap;
 use crate::pagedesc::{PageDescTable, PageKey};
 use crate::pagetable::PageTable;
 use crate::pml::PmlEngine;
@@ -288,7 +287,11 @@ pub struct Machine {
     cfg: MachineConfig,
     cores: Vec<Core>,
     llc: Cache,
-    processes: BTreeMap<Pid, Process>,
+    /// Processes sorted by PID; `pid_index` maps PID -> position. A dense
+    /// vec + fast-hash index keeps the per-op process lookup off the
+    /// `BTreeMap` pointer-chase that used to dominate `exec_op`.
+    processes: Vec<Process>,
+    pid_index: KeyMap<Pid, usize>,
     frames: FrameAllocator,
     descs: PageDescTable,
     truth: GroundTruth,
@@ -325,7 +328,8 @@ impl Machine {
             cfg,
             cores,
             llc,
-            processes: BTreeMap::new(),
+            processes: Vec::new(),
+            pid_index: KeyMap::default(),
             frames,
             descs,
             truth: GroundTruth::new(),
@@ -365,8 +369,13 @@ impl Machine {
     /// # Panics
     /// If the PID is already registered.
     pub fn add_process(&mut self, pid: Pid) {
-        let prev = self.processes.insert(
-            pid,
+        assert!(
+            !self.pid_index.contains_key(&pid),
+            "pid {pid} already exists"
+        );
+        let pos = self.processes.partition_point(|p| p.pid < pid);
+        self.processes.insert(
+            pos,
             Process {
                 pid,
                 page_table: PageTable::new(),
@@ -374,23 +383,33 @@ impl Machine {
                 thp: false,
             },
         );
-        assert!(prev.is_none(), "pid {pid} already exists");
+        // Reindex the (rare) insertion and everything it shifted.
+        for (i, p) in self.processes.iter().enumerate().skip(pos) {
+            self.pid_index.insert(p.pid, i);
+        }
+    }
+
+    /// Position of `pid` in the dense process table.
+    #[inline]
+    fn proc_idx(&self, pid: Pid) -> usize {
+        *self.pid_index.get(&pid).expect("unknown pid")
     }
 
     /// Enable or disable transparent huge pages for a process. Affects
     /// only future first-touch faults.
     pub fn set_thp(&mut self, pid: Pid, enabled: bool) {
-        self.processes.get_mut(&pid).expect("unknown pid").thp = enabled;
+        let idx = self.proc_idx(pid);
+        self.processes[idx].thp = enabled;
     }
 
     /// Registered PIDs, ascending.
     pub fn pids(&self) -> Vec<Pid> {
-        self.processes.keys().copied().collect()
+        self.processes.iter().map(|p| p.pid).collect()
     }
 
     /// Access a process.
     pub fn process(&self, pid: Pid) -> Option<&Process> {
-        self.processes.get(&pid)
+        self.pid_index.get(&pid).map(|&i| &self.processes[i])
     }
 
     /// Split borrows for a software PTE scan over `pid`: page table,
@@ -398,7 +417,8 @@ impl Machine {
     /// A-bit driver uses (`mm_walk` + `phys_to_page`).
     pub fn scan_parts(&mut self, pid: Pid) -> Option<(&mut PageTable, &mut PageDescTable, u32)> {
         let epoch = self.epoch;
-        let proc = self.processes.get_mut(&pid)?;
+        let idx = *self.pid_index.get(&pid)?;
+        let proc = &mut self.processes[idx];
         Some((&mut proc.page_table, &mut self.descs, epoch))
     }
 
@@ -513,10 +533,8 @@ impl Machine {
         dest: Tier,
     ) -> Result<(Pfn, Pfn), MigrateError> {
         let layout = self.cfg.memory.clone();
-        let proc = self
-            .processes
-            .get_mut(&pid)
-            .ok_or(MigrateError::NotMapped)?;
+        let idx = *self.pid_index.get(&pid).ok_or(MigrateError::NotMapped)?;
+        let proc = &mut self.processes[idx];
         let pte_ref = proc
             .page_table
             .entry_mut(vpn)
@@ -529,10 +547,7 @@ impl Machine {
         if layout.tier_of(old_pfn) == dest {
             return Err(MigrateError::AlreadyThere);
         }
-        let new_pfn = self
-            .frames
-            .alloc_in(dest)
-            .map_err(MigrateError::NoFrames)?;
+        let new_pfn = self.frames.alloc_in(dest).map_err(MigrateError::NoFrames)?;
         *pte_ref = pte_ref.with_pfn(new_pfn);
         self.descs.migrate(old_pfn, new_pfn);
         // Scrub both physical locations from the hierarchy (the copy
@@ -561,8 +576,8 @@ impl Machine {
         let lat = self.cfg.latency;
         match op {
             WorkOp::Compute => {
-                let proc = self.processes.get_mut(&pid).expect("unknown pid");
-                proc.ops_executed += 1;
+                let idx = self.proc_idx(pid);
+                self.processes[idx].ops_executed += 1;
                 let c = &mut self.cores[core];
                 c.counts.retired_ops += 1;
                 c.counts.cycles += lat.base_op;
@@ -594,9 +609,9 @@ impl Machine {
         };
 
         // --- bookkeeping: retirement ---
+        let proc_idx = self.proc_idx(pid);
         {
-            let proc = self.processes.get_mut(&pid).expect("unknown pid");
-            proc.ops_executed += 1;
+            self.processes[proc_idx].ops_executed += 1;
             let c = &mut self.cores[core_idx].counts;
             c.retired_ops += 1;
             if store {
@@ -607,7 +622,7 @@ impl Machine {
         }
 
         // --- address translation ---
-        let (pfn, tlb_hit) = self.translate(core_idx, pid, vpn, store, &mut out);
+        let (pfn, tlb_hit) = self.translate(core_idx, proc_idx, pid, vpn, store, &mut out);
         out.tlb = Some(tlb_hit);
         let pa = phys_addr(pfn, va.page_offset());
 
@@ -653,11 +668,7 @@ impl Machine {
                 }
                 let fill = self.llc.fill(pa.line(), store);
                 if let Some(victim_line) = fill.writeback {
-                    Self::count_memory_writeback(
-                        &self.cfg.memory,
-                        &mut core.counts,
-                        victim_line,
-                    );
+                    Self::count_memory_writeback(&self.cfg.memory, &mut core.counts, victim_line);
                 }
             }
             let victims = core.caches.fill_through(pa, store);
@@ -699,11 +710,7 @@ impl Machine {
 
     /// Account a dirty line written back to memory (tier 2 writebacks are
     /// the NVM write-endurance/energy cost).
-    fn count_memory_writeback(
-        memory: &TieredMemory,
-        counts: &mut EventCounts,
-        victim_line: u64,
-    ) {
+    fn count_memory_writeback(memory: &TieredMemory, counts: &mut EventCounts, victim_line: u64) {
         let victim_pfn = PhysAddr(victim_line << crate::addr::LINE_SHIFT).pfn();
         if victim_pfn.0 < memory.total_frames() && memory.tier_of(victim_pfn) == Tier::Tier2 {
             counts.tier2_writebacks += 1;
@@ -715,6 +722,7 @@ impl Machine {
     fn translate(
         &mut self,
         core_idx: usize,
+        proc_idx: usize,
         pid: Pid,
         vpn: Vpn,
         store: bool,
@@ -734,7 +742,7 @@ impl Machine {
             }
             let pfn = tr.entry.frame_for(vpn);
             if tr.needs_dirty_writeback {
-                let proc = self.processes.get_mut(&pid).expect("unknown pid");
+                let proc = &mut self.processes[proc_idx];
                 if let Some(pte) = proc.page_table.entry_mut(vpn) {
                     pte.set(bits::D);
                 }
@@ -761,8 +769,58 @@ impl Machine {
         let mut repoison_after_fill = false;
         for _attempt in 0..4 {
             let epoch = self.epoch;
-            let proc = self.processes.get_mut(&pid).expect("unknown pid");
-            let pte_now = proc.page_table.get(vpn);
+            let proc = &mut self.processes[proc_idx];
+            // Single radix resolution per attempt: the resolved slot serves
+            // both the presence/poison checks and, on the common success
+            // path, the A/D-bit updates — no second walk.
+            let pte_now = match proc.page_table.entry_mut(vpn) {
+                Some(pte) => {
+                    let snapshot = *pte;
+                    if snapshot.present() && !snapshot.poisoned() && !snapshot.prot_none() {
+                        // Successful walk: the hardware walker sets the A
+                        // bit (and the D bit on stores) in the PTE it
+                        // loads. Per-core counters are bumped after the
+                        // PTE borrow ends.
+                        let abit_set = !pte.accessed();
+                        if abit_set {
+                            pte.set(bits::A);
+                        }
+                        let mut newly_dirty = false;
+                        if store && !pte.dirty() {
+                            pte.set(bits::D);
+                            newly_dirty = true;
+                        }
+                        let huge = pte.huge();
+                        let entry = TlbEntry {
+                            pid,
+                            vpn: if huge {
+                                Vpn(vpn.0 & !(crate::pagetable::HUGE_SPAN - 1))
+                            } else {
+                                vpn
+                            },
+                            pfn: pte.pfn(),
+                            writable: pte.writable(),
+                            dirty: pte.dirty(),
+                            huge,
+                        };
+                        let pfn = entry.frame_for(vpn);
+                        if repoison_after_fill {
+                            pte.set(bits::POISON);
+                        }
+                        let core = &mut self.cores[core_idx];
+                        if abit_set {
+                            core.counts.ptw_abit_sets += 1;
+                        }
+                        if newly_dirty {
+                            core.pml.record_dirty(pfn);
+                        }
+                        core.tlb.fill(entry);
+                        return (pfn, TlbHit::Miss);
+                    }
+                    snapshot
+                }
+                None => Pte::NONE,
+            };
 
             if !pte_now.present() {
                 // Minor fault: first touch allocates first-come-first-serve
@@ -820,7 +878,7 @@ impl Machine {
                 }
                 out.cycles += lat.protection_fault + action.extra_cycles;
                 out.protection_fault = true;
-                let proc = self.processes.get_mut(&pid).expect("unknown pid");
+                let proc = &mut self.processes[proc_idx];
                 let pte = proc.page_table.entry_mut(vpn).expect("present entry");
                 if action.unpoison {
                     pte.clear(bits::POISON);
@@ -834,46 +892,6 @@ impl Machine {
                 }
                 continue;
             }
-
-            // Successful walk: the hardware walker sets the A bit (and the
-            // D bit on stores) in the PTE it loads.
-            let proc = self.processes.get_mut(&pid).expect("unknown pid");
-            let pte = proc.page_table.entry_mut(vpn).expect("present entry");
-            if !pte.accessed() {
-                pte.set(bits::A);
-                self.cores[core_idx].counts.ptw_abit_sets += 1;
-                // reborrow after counter bump
-            }
-            let proc = self.processes.get_mut(&pid).expect("unknown pid");
-            let pte = proc.page_table.entry_mut(vpn).expect("present entry");
-            let mut newly_dirty = false;
-            if store && !pte.dirty() {
-                pte.set(bits::D);
-                newly_dirty = true;
-            }
-            let huge = pte.huge();
-            let entry = TlbEntry {
-                pid,
-                vpn: if huge {
-                    Vpn(vpn.0 & !(crate::pagetable::HUGE_SPAN - 1))
-                } else {
-                    vpn
-                },
-                pfn: pte.pfn(),
-                writable: pte.writable(),
-                dirty: pte.dirty(),
-                huge,
-            };
-            let pfn = entry.frame_for(vpn);
-            if repoison_after_fill {
-                pte.set(bits::POISON);
-            }
-            let core = &mut self.cores[core_idx];
-            if newly_dirty {
-                core.pml.record_dirty(pfn);
-            }
-            core.tlb.fill(entry);
-            return (pfn, TlbHit::Miss);
         }
         panic!("translation for {vpn:?} did not converge");
     }
@@ -882,7 +900,7 @@ impl Machine {
     /// (pid, ops executed, mapped pages).
     pub fn process_usage(&self) -> Vec<(Pid, u64, u64)> {
         self.processes
-            .values()
+            .iter()
             .map(|p| (p.pid, p.ops_executed, p.page_table.mapped_pages()))
             .collect()
     }
@@ -890,7 +908,7 @@ impl Machine {
     /// Look up the physical frame currently backing (`pid`, `vpn`),
     /// resolving huge-page offsets.
     pub fn frame_of(&self, pid: Pid, vpn: Vpn) -> Option<Pfn> {
-        self.processes.get(&pid)?.page_table.resolve(vpn)
+        self.process(pid)?.page_table.resolve(vpn)
     }
 
     /// Current tier of a logical page.
@@ -987,7 +1005,15 @@ mod tests {
             let (pt, _, _) = m.scan_parts(1).unwrap();
             assert!(!pt.get(Vpn(7)).dirty());
         }
-        m.exec_op(0, 1, WorkOp::Mem { va: VirtAddr(0x7000), store: true, site: 0 });
+        m.exec_op(
+            0,
+            1,
+            WorkOp::Mem {
+                va: VirtAddr(0x7000),
+                store: true,
+                site: 0,
+            },
+        );
         let dwb = m.counts(0).dirty_writebacks;
         assert_eq!(dwb, 1);
         let (pt, _, _) = m.scan_parts(1).unwrap();
@@ -1016,9 +1042,25 @@ mod tests {
         // tier-1 re-read (cold caches forced via distinct lines) and tier 2.
         let t2 = m.touch(0, 1, VirtAddr(100 * PAGE_SIZE));
         assert_eq!(t2.tier, Some(Tier::Tier2));
-        let t2_more = m.exec_op(0, 1, WorkOp::Mem { va: VirtAddr(100 * PAGE_SIZE + 64), store: false, site: 0 });
+        let t2_more = m.exec_op(
+            0,
+            1,
+            WorkOp::Mem {
+                va: VirtAddr(100 * PAGE_SIZE + 64),
+                store: false,
+                site: 0,
+            },
+        );
         assert_eq!(t2_more.source, Some(CacheLevel::Memory));
-        let t1_more = m.exec_op(0, 1, WorkOp::Mem { va: VirtAddr(63 * PAGE_SIZE + 64), store: false, site: 0 });
+        let t1_more = m.exec_op(
+            0,
+            1,
+            WorkOp::Mem {
+                va: VirtAddr(63 * PAGE_SIZE + 64),
+                store: false,
+                site: 0,
+            },
+        );
         assert_eq!(t1_more.source, Some(CacheLevel::Memory));
         assert!(t2_more.cycles > t1_more.cycles);
     }
@@ -1037,7 +1079,10 @@ mod tests {
         assert_eq!(m.descs().get(to).trace_epoch, 1);
         assert_eq!(m.descs().get(from).owner, None);
         // Migrating again to the same tier is rejected.
-        assert_eq!(m.migrate_page(1, Vpn(3), Tier::Tier2), Err(MigrateError::AlreadyThere));
+        assert_eq!(
+            m.migrate_page(1, Vpn(3), Tier::Tier2),
+            Err(MigrateError::AlreadyThere)
+        );
         // And the freed tier-1 frame is reusable.
         assert_eq!(m.frames().free_in(Tier::Tier1), 64);
     }
@@ -1056,7 +1101,10 @@ mod tests {
     #[test]
     fn migrate_unmapped_page_fails() {
         let mut m = small_machine();
-        assert_eq!(m.migrate_page(1, Vpn(42), Tier::Tier2), Err(MigrateError::NotMapped));
+        assert_eq!(
+            m.migrate_page(1, Vpn(42), Tier::Tier2),
+            Err(MigrateError::NotMapped)
+        );
     }
 
     #[test]
@@ -1065,10 +1113,17 @@ mod tests {
         for _ in 0..5 {
             m.touch(0, 1, VirtAddr(0x9000));
         }
-        let key = PageKey { pid: 1, vpn: Vpn(9) };
+        let key = PageKey {
+            pid: 1,
+            vpn: Vpn(9),
+        };
         let t = m.truth().current();
         assert_eq!(t.references[&key.pack()], 5);
-        assert_eq!(t.mem_accesses[&key.pack()], 1, "only the cold miss reaches memory");
+        assert_eq!(
+            t.mem_accesses[&key.pack()],
+            1,
+            "only the cold miss reaches memory"
+        );
         let epoch = m.advance_epoch();
         assert_eq!(epoch.total_mem_accesses(), 1);
         assert_eq!(m.truth().current().total_mem_accesses(), 0);
@@ -1079,7 +1134,8 @@ mod tests {
     fn trace_engine_samples_memory_ops() {
         let mut m = small_machine();
         m.trace_engine_mut(0).set_enabled(true);
-        m.trace_engine_mut(0).set_mode(TraceMode::IbsOp { period: 2 });
+        m.trace_engine_mut(0)
+            .set_mode(TraceMode::IbsOp { period: 2 });
         for i in 0..100u64 {
             m.touch(0, 1, VirtAddr((i % 4) * PAGE_SIZE));
         }

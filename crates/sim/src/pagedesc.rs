@@ -168,8 +168,14 @@ mod tests {
 
     #[test]
     fn pack_distinct_for_distinct_pages() {
-        let a = PageKey { pid: 1, vpn: Vpn(2) };
-        let b = PageKey { pid: 2, vpn: Vpn(1) };
+        let a = PageKey {
+            pid: 1,
+            vpn: Vpn(2),
+        };
+        let b = PageKey {
+            pid: 2,
+            vpn: Vpn(1),
+        };
         assert_ne!(a.pack(), b.pack());
     }
 
@@ -199,7 +205,10 @@ mod tests {
     #[test]
     fn migrate_moves_stats_and_clears_source() {
         let mut t = PageDescTable::new(4);
-        let key = PageKey { pid: 7, vpn: Vpn(9) };
+        let key = PageKey {
+            pid: 7,
+            vpn: Vpn(9),
+        };
         t.set_owner(Pfn(1), key);
         t.bump_abit(Pfn(1), 3);
         t.migrate(Pfn(1), Pfn(3));
@@ -212,8 +221,20 @@ mod tests {
     #[test]
     fn iter_owned_skips_free_frames() {
         let mut t = PageDescTable::new(8);
-        t.set_owner(Pfn(1), PageKey { pid: 1, vpn: Vpn(1) });
-        t.set_owner(Pfn(5), PageKey { pid: 1, vpn: Vpn(2) });
+        t.set_owner(
+            Pfn(1),
+            PageKey {
+                pid: 1,
+                vpn: Vpn(1),
+            },
+        );
+        t.set_owner(
+            Pfn(5),
+            PageKey {
+                pid: 1,
+                vpn: Vpn(2),
+            },
+        );
         let frames: Vec<Pfn> = t.iter_owned().map(|(p, _)| p).collect();
         assert_eq!(frames, vec![Pfn(1), Pfn(5)]);
     }

@@ -12,9 +12,9 @@
 //! PIDs are covered, the more overhead there is in traversing PTEs").
 
 use crate::addr::{Vpn, RADIX_BITS, RADIX_LEVELS};
-use crate::pte::Pte;
 #[allow(unused_imports)]
 use crate::pte::bits as _pte_bits;
+use crate::pte::Pte;
 
 const FANOUT: usize = 1 << RADIX_BITS;
 

@@ -108,7 +108,10 @@ mod tests {
         for i in 0..PML_LOG_ENTRIES - 1 {
             assert!(!pml.record_dirty(Pfn(i as u64)));
         }
-        assert!(pml.record_dirty(Pfn(999)), "512th entry raises notification");
+        assert!(
+            pml.record_dirty(Pfn(999)),
+            "512th entry raises notification"
+        );
         assert_eq!(pml.notifications(), 1);
         // Further writes are lost until drained.
         assert!(!pml.record_dirty(Pfn(1000)));

@@ -262,7 +262,12 @@ mod tests {
             counts[zipf.sample(&mut rng) as usize] += 1;
         }
         // Head must dominate the tail by a wide margin.
-        assert!(counts[0] > counts[100] * 5, "{} vs {}", counts[0], counts[100]);
+        assert!(
+            counts[0] > counts[100] * 5,
+            "{} vs {}",
+            counts[0],
+            counts[100]
+        );
         assert!(counts[0] > counts[999] * 20);
     }
 

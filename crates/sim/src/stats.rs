@@ -8,17 +8,19 @@
 //! information is visible to the profilers, which see only their own sampled
 //! views.
 
-use std::collections::HashMap;
-
+use crate::keymap::KeyMap;
 use crate::pagedesc::PageKey;
 
 /// Per-epoch, per-page true access counts.
+///
+/// Counts live in [`KeyMap`]s: `record` runs on the simulator's per-op hot
+/// path, so the map hash must be cheap (and deterministic for replays).
 #[derive(Clone, Debug, Default)]
 pub struct EpochTruth {
     /// Memory-level accesses (LLC misses) per packed [`PageKey`].
-    pub mem_accesses: HashMap<u64, u64>,
+    pub mem_accesses: KeyMap<u64, u64>,
     /// All references (cache hits included) per packed [`PageKey`].
-    pub references: HashMap<u64, u64>,
+    pub references: KeyMap<u64, u64>,
 }
 
 impl EpochTruth {
@@ -43,7 +45,7 @@ impl EpochTruth {
 pub struct GroundTruth {
     current: EpochTruth,
     /// Lifetime memory accesses per page (heat over the whole run).
-    lifetime_mem: HashMap<u64, u64>,
+    lifetime_mem: KeyMap<u64, u64>,
 }
 
 impl GroundTruth {
@@ -74,7 +76,7 @@ impl GroundTruth {
     }
 
     /// Lifetime memory accesses per packed page key.
-    pub fn lifetime_mem(&self) -> &HashMap<u64, u64> {
+    pub fn lifetime_mem(&self) -> &KeyMap<u64, u64> {
         &self.lifetime_mem
     }
 }
@@ -85,7 +87,10 @@ mod tests {
     use crate::addr::Vpn;
 
     fn key(vpn: u64) -> PageKey {
-        PageKey { pid: 1, vpn: Vpn(vpn) }
+        PageKey {
+            pid: 1,
+            vpn: Vpn(vpn),
+        }
     }
 
     #[test]

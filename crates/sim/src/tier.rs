@@ -70,7 +70,7 @@ impl TieredMemory {
         Self::new(
             TierSpec {
                 frames: t1_frames,
-                load_latency: 320,  // ~80 ns @ 4 GHz
+                load_latency: 320, // ~80 ns @ 4 GHz
                 store_latency: 320,
             },
             TierSpec {

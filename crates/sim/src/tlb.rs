@@ -77,6 +77,10 @@ pub struct TlbLevel {
     ways: usize,
     slots: Vec<Slot>,
     clock: u64,
+    /// Count of valid huge-page entries; lets [`Tlb::access`] skip the
+    /// huge-tag probe entirely when no huge translation can possibly hit
+    /// (the common non-THP case), halving lookup work per access.
+    huge_entries: usize,
 }
 
 impl TlbLevel {
@@ -90,7 +94,14 @@ impl TlbLevel {
             ways,
             slots: vec![INVALID_SLOT; sets * ways],
             clock: 0,
+            huge_entries: 0,
         }
+    }
+
+    /// Whether any valid huge-page entry is cached.
+    #[inline]
+    pub fn holds_huge(&self) -> bool {
+        self.huge_entries > 0
     }
 
     /// Total capacity in entries.
@@ -121,35 +132,61 @@ impl TlbLevel {
 
     /// Install a translation, evicting the set's LRU entry if needed.
     /// Returns the evicted entry, if one was displaced.
+    ///
+    /// A single pass over the set finds (in priority order) an existing
+    /// mapping for the same page, the first invalid slot, and the LRU
+    /// victim — the same selection the original three-scan version made.
     pub fn insert(&mut self, entry: TlbEntry) -> Option<TlbEntry> {
         self.clock += 1;
         let clock = self.clock;
         let range = self.set_range(entry.pid, entry.vpn);
         let set = &mut self.slots[range];
-        // Re-use an existing mapping for the same page or an invalid slot.
-        if let Some(slot) = set
-            .iter_mut()
-            .find(|s| s.valid && s.entry.pid == entry.pid && s.entry.vpn == entry.vpn)
-        {
-            slot.entry = entry;
-            slot.stamp = clock;
-            return None;
+        let mut invalid: Option<usize> = None;
+        let mut lru = 0usize;
+        let mut lru_stamp = u64::MAX;
+        let mut same: Option<usize> = None;
+        for (i, s) in set.iter().enumerate() {
+            if s.valid {
+                if s.entry.pid == entry.pid && s.entry.vpn == entry.vpn {
+                    same = Some(i);
+                    break;
+                }
+                if s.stamp < lru_stamp {
+                    lru_stamp = s.stamp;
+                    lru = i;
+                }
+            } else if invalid.is_none() {
+                invalid = Some(i);
+            }
         }
-        if let Some(slot) = set.iter_mut().find(|s| !s.valid) {
-            *slot = Slot {
+        if let Some(i) = same {
+            self.huge_entries += entry.huge as usize;
+            self.huge_entries -= set[i].entry.huge as usize;
+            set[i] = Slot {
                 entry,
                 stamp: clock,
                 valid: true,
             };
             return None;
         }
-        let victim = set.iter_mut().min_by_key(|s| s.stamp).expect("ways > 0");
+        self.huge_entries += entry.huge as usize;
+        if let Some(i) = invalid {
+            set[i] = Slot {
+                entry,
+                stamp: clock,
+                valid: true,
+            };
+            return None;
+        }
+        let victim = &mut set[lru];
+        debug_assert!(victim.valid, "ways > 0");
         let evicted = victim.entry;
         *victim = Slot {
             entry,
             stamp: clock,
             valid: true,
         };
+        self.huge_entries -= evicted.huge as usize;
         Some(evicted)
     }
 
@@ -160,6 +197,7 @@ impl TlbLevel {
         for slot in &mut self.slots[range] {
             if slot.valid && slot.entry.pid == pid && slot.entry.vpn == vpn {
                 slot.valid = false;
+                self.huge_entries -= slot.entry.huge as usize;
                 return true;
             }
         }
@@ -173,6 +211,7 @@ impl TlbLevel {
         for slot in &mut self.slots {
             if slot.valid && slot.entry.pid == pid {
                 slot.valid = false;
+                self.huge_entries -= slot.entry.huge as usize;
                 n += 1;
             }
         }
@@ -184,6 +223,7 @@ impl TlbLevel {
         for slot in &mut self.slots {
             slot.valid = false;
         }
+        self.huge_entries = 0;
     }
 
     /// Number of currently valid entries (diagnostics).
@@ -241,15 +281,14 @@ impl Tlb {
     /// entry's cached dirty bit is set and `needs_dirty_writeback` is
     /// reported so the owner can update the PTE.
     pub fn access(&mut self, pid: Pid, vpn: Vpn, is_store: bool) -> Option<Translation> {
-        let base = Vpn(vpn.0 & !(HUGE_SPAN - 1));
-        if base != vpn {
-            // Probe the huge tag first when it differs from the 4K tag;
-            // a hit short-circuits exactly like a 4K hit.
+        // Probe the huge tag first; a hit short-circuits exactly like a 4K
+        // hit. When neither level caches any huge translation the probe
+        // cannot hit and is skipped outright (the common non-THP case).
+        if self.l1.holds_huge() || self.l2.holds_huge() {
+            let base = Vpn(vpn.0 & !(HUGE_SPAN - 1));
             if let Some(tr) = self.access_tag(pid, base, is_store, true) {
                 return Some(tr);
             }
-        } else if let Some(tr) = self.access_tag(pid, base, is_store, true) {
-            return Some(tr);
         }
         self.access_tag(pid, vpn, is_store, false)
     }

@@ -284,7 +284,10 @@ mod tests {
     fn disabled_engine_never_tags() {
         let mut e = TraceEngine::new(TraceMode::IbsOp { period: 1 });
         for _ in 0..100 {
-            assert_eq!(e.offer_mem(mem_sample(CacheLevel::Memory, false)), TagOutcome::Untagged);
+            assert_eq!(
+                e.offer_mem(mem_sample(CacheLevel::Memory, false)),
+                TagOutcome::Untagged
+            );
             assert_eq!(e.offer_compute(), TagOutcome::Untagged);
         }
         assert_eq!(e.pending(), 0);
@@ -322,8 +325,14 @@ mod tests {
         e.set_enabled(true);
         // Stores and cache hits never qualify.
         for _ in 0..10 {
-            assert_eq!(e.offer_mem(mem_sample(CacheLevel::Memory, true)), TagOutcome::Untagged);
-            assert_eq!(e.offer_mem(mem_sample(CacheLevel::L1, false)), TagOutcome::Untagged);
+            assert_eq!(
+                e.offer_mem(mem_sample(CacheLevel::Memory, true)),
+                TagOutcome::Untagged
+            );
+            assert_eq!(
+                e.offer_mem(mem_sample(CacheLevel::L1, false)),
+                TagOutcome::Untagged
+            );
             assert_eq!(e.offer_compute(), TagOutcome::Untagged);
         }
         // Every 2nd qualifying load is sampled.

@@ -95,7 +95,8 @@ impl DataAnalytics {
                 }
                 // …and aggregate one skewed feature per run.
                 let k = self.zipf.sample(&mut self.rng);
-                self.queue.load(self.features.elem(k, 16), site::FEATURE_READ);
+                self.queue
+                    .load(self.features.elem(k, 16), site::FEATURE_READ);
                 self.queue
                     .store(self.features.elem(k, 16), site::FEATURE_WRITE);
                 if self.cursor >= recs {
@@ -107,7 +108,8 @@ impl DataAnalytics {
             Phase::Reduce => {
                 // Re-read aggregated features with skew, normalizing them.
                 let k = self.zipf.sample(&mut self.rng);
-                self.queue.load(self.features.elem(k, 16), site::REDUCE_READ);
+                self.queue
+                    .load(self.features.elem(k, 16), site::REDUCE_READ);
                 self.queue
                     .store(self.features.elem(k, 16), site::REDUCE_WRITE);
                 self.reduce_left = self.reduce_left.saturating_sub(1);

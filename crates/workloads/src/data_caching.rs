@@ -98,8 +98,7 @@ impl DataCaching {
         if is_set {
             // Write the value (2 cache lines) and bump LRU metadata.
             self.queue.store(value, site::VALUE_WRITE);
-            self.queue
-                .store(VirtAddr(value.0 + 64), site::VALUE_WRITE);
+            self.queue.store(VirtAddr(value.0 + 64), site::VALUE_WRITE);
         } else {
             self.queue.load(value, site::VALUE_READ);
         }
@@ -168,7 +167,10 @@ mod tests {
         let range = dc.slabs().vpn_range();
         let mut slab_stores = 0;
         for _ in 0..30_000 {
-            if let WorkOp::Mem { va, store: true, .. } = dc.next_op() {
+            if let WorkOp::Mem {
+                va, store: true, ..
+            } = dc.next_op()
+            {
                 if range.contains(&va.vpn().0) {
                     slab_stores += 1;
                 }

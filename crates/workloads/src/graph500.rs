@@ -120,13 +120,14 @@ impl Graph500 {
             // Neighbor visited-check: random vertex, bitmap read.
             let n = self.rng.below(self.vertex_count);
             let byte = n / 8;
-            self.queue
-                .load(self.visited.at(byte % self.visited.bytes()), site::VISITED_CHECK);
+            self.queue.load(
+                self.visited.at(byte % self.visited.bytes()),
+                site::VISITED_CHECK,
+            );
             // A fraction of neighbors are newly discovered: parent write.
             if self.rng.chance(0.25) {
                 self.queue.store(
-                    self.visited
-                        .at((n * 8) % self.visited.bytes()),
+                    self.visited.at((n * 8) % self.visited.bytes()),
                     site::PARENT_WRITE,
                 );
             }

@@ -99,7 +99,8 @@ impl GraphAnalytics {
                 .load(self.ranks_src.elem(n, 8), site::NEIGHBOR_GATHER);
         }
         // Write the new rank sequentially.
-        self.queue.store(self.ranks_dst.elem(v, 8), site::RANK_WRITE);
+        self.queue
+            .store(self.ranks_dst.elem(v, 8), site::RANK_WRITE);
     }
 }
 
@@ -128,7 +129,10 @@ mod tests {
         let src = ga.ranks_src().vpn_range();
         let mut hits: HashMap<u64, u64> = HashMap::new();
         for _ in 0..60_000 {
-            if let WorkOp::Mem { va, store: false, .. } = ga.next_op() {
+            if let WorkOp::Mem {
+                va, store: false, ..
+            } = ga.next_op()
+            {
                 if src.contains(&va.vpn().0) {
                     *hits.entry(va.vpn().0).or_insert(0) += 1;
                 }
@@ -168,7 +172,10 @@ mod tests {
             if ga.superstep() > 0 {
                 break;
             }
-            if let WorkOp::Mem { va, store: true, .. } = ga.next_op() {
+            if let WorkOp::Mem {
+                va, store: true, ..
+            } = ga.next_op()
+            {
                 assert!(!src.contains(&va.vpn().0), "store into source buffer");
             }
         }

@@ -85,7 +85,8 @@ impl Lulesh {
         let n = self.n;
         let n2 = n * n;
         // Element's own state.
-        self.queue.load(self.elems.elem(i, ELEM_SIZE), site::ELEM_READ);
+        self.queue
+            .load(self.elems.elem(i, ELEM_SIZE), site::ELEM_READ);
         // Six face neighbors, clamped at the boundary.
         let neighbors = [
             i.checked_sub(1),
@@ -106,10 +107,13 @@ impl Lulesh {
         let node_elems = self.nodes.capacity(24);
         let base = (i * 8) % node_elems;
         self.queue.load(self.nodes.elem(base, 24), site::NODE_READ);
-        self.queue
-            .load(self.nodes.elem((base + 1) % node_elems, 24), site::NODE_READ);
+        self.queue.load(
+            self.nodes.elem((base + 1) % node_elems, 24),
+            site::NODE_READ,
+        );
         // Write back updated element state.
-        self.queue.store(self.elems.elem(i, ELEM_SIZE), site::ELEM_WRITE);
+        self.queue
+            .store(self.elems.elem(i, ELEM_SIZE), site::ELEM_WRITE);
     }
 }
 
@@ -153,8 +157,7 @@ mod tests {
             }
         }
         // The sweep must touch essentially every element page.
-        let elem_pages_used =
-            (l.edge().pow(3) * ELEM_SIZE).div_ceil(PAGE_SIZE);
+        let elem_pages_used = (l.edge().pow(3) * ELEM_SIZE).div_ceil(PAGE_SIZE);
         assert!(pages.len() as u64 >= elem_pages_used * 9 / 10);
     }
 

@@ -230,7 +230,9 @@ mod tests {
 
     #[test]
     fn scaled_footprint_clamps_to_minimum() {
-        let cfg = WorkloadKind::Graph500.default_config().scaled_footprint(1, 1_000_000);
+        let cfg = WorkloadKind::Graph500
+            .default_config()
+            .scaled_footprint(1, 1_000_000);
         assert_eq!(cfg.footprint_pages, 64);
     }
 

@@ -101,7 +101,8 @@ impl WebServing {
         let obj_elems = self.objects.capacity(256);
         for _ in 0..TAIL_TOUCHES {
             let o = self.rng.below(obj_elems);
-            self.queue.load(self.objects.elem(o, 256), site::OBJECT_READ);
+            self.queue
+                .load(self.objects.elem(o, 256), site::OBJECT_READ);
         }
         // Append to the access log (pure sequential stores).
         let log_bytes = self.log.bytes();
@@ -180,7 +181,10 @@ mod tests {
         let log = ws.log.vpn_range();
         let mut last: Option<u64> = None;
         for _ in 0..100_000 {
-            if let WorkOp::Mem { va, store: true, .. } = ws.next_op() {
+            if let WorkOp::Mem {
+                va, store: true, ..
+            } = ws.next_op()
+            {
                 if log.contains(&va.vpn().0) {
                     if let Some(prev) = last {
                         // Allow wraparound to the log base.

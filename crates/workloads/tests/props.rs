@@ -126,7 +126,11 @@ fn all_generators_execute_on_a_machine() {
             .collect();
         Runner::new(streams).run(&mut m, 20_000);
         let counts = m.aggregate_counts();
-        assert!(counts.llc_misses > 0, "{}: never reached memory", kind.name());
+        assert!(
+            counts.llc_misses > 0,
+            "{}: never reached memory",
+            kind.name()
+        );
         assert!(counts.ptw_walks > 0, "{}: never walked", kind.name());
     }
 }

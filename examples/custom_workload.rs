@@ -92,14 +92,15 @@ fn main() {
 
     println!("Hottest pages of the final epoch:");
     for r in report.profile.ranked(RankSource::Combined).iter().take(8) {
-        let region = if r.key.vpn.0 < 0x10000 { "internal" } else { "leaf" };
+        let region = if r.key.vpn.0 < 0x10000 {
+            "internal"
+        } else {
+            "leaf"
+        };
         println!("  vpn {:#8x} ({region:<8}) rank {}", r.key.vpn.0, r.rank);
     }
 
-    let concentration = heat_concentration(
-        report.profile.trace.values().map(|&v| v as u64),
-        0.10,
-    );
+    let concentration = heat_concentration(report.profile.trace.values().map(|&v| v as u64), 0.10);
     println!(
         "\nTop 10% of sampled pages absorb {:.0}% of trace samples.",
         concentration * 100.0

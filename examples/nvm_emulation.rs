@@ -19,7 +19,9 @@ use tmprof_workloads::spec::WorkloadKind;
 
 fn one_run(policy: EmulPolicy) -> tmprof_emul::EmulRunResult {
     // Fast : slow = 1 : 15, the paper's 4 GB : 60 GB split, scaled.
-    let cfg = WorkloadKind::DataCaching.default_config().scaled_footprint(1, 4);
+    let cfg = WorkloadKind::DataCaching
+        .default_config()
+        .scaled_footprint(1, 4);
     let total = cfg.total_pages();
     let t2 = total * 2;
     let t1 = (t2 / 15).max(64);

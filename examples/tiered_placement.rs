@@ -46,18 +46,19 @@ fn run(policy_name: &str, policy: &mut dyn PlacementPolicy) -> Vec<f64> {
 
     let mut hitrates = Vec::new();
     for _ in 0..EPOCHS {
-        let mut streams: Vec<(Pid, &mut dyn OpStream)> = vec![
-            (1, &mut *streamer_gen),
-            (2, &mut *service_gen),
-        ];
-        let metrics =
-            runner.run_epoch(&mut machine, &mut tmp, policy, &mut streams, OPS_PER_EPOCH);
+        let mut streams: Vec<(Pid, &mut dyn OpStream)> =
+            vec![(1, &mut *streamer_gen), (2, &mut *service_gen)];
+        let metrics = runner.run_epoch(&mut machine, &mut tmp, policy, &mut streams, OPS_PER_EPOCH);
         hitrates.push(metrics.tier1_hitrate);
     }
     println!(
         "{policy_name:<22} steady-state hitrate {:>5.1}%  (pages promoted: {})",
         runner.steady_state_hitrate() * 100.0,
-        runner.metrics().iter().map(|m| m.moves.promoted).sum::<u64>(),
+        runner
+            .metrics()
+            .iter()
+            .map(|m| m.moves.promoted)
+            .sum::<u64>(),
     );
     hitrates
 }
@@ -82,7 +83,10 @@ fn main() {
 
     println!(
         "\n        epoch:  {}",
-        (0..EPOCHS).map(|e| e.to_string()).collect::<Vec<_>>().join("")
+        (0..EPOCHS)
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("")
     );
     println!("  first-touch:  {}", sparkline(&base));
     println!("  TMP+History:  {}", sparkline(&opt));

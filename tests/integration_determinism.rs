@@ -1,8 +1,12 @@
 //! Whole-pipeline determinism: the reproduction's numbers must be
 //! bit-stable across runs (EXPERIMENTS.md records exact values).
 
-use tmprof_bench::harness::{run_workload, ProfMode, RunOptions};
+use tmprof_bench::harness::{profiling_machine, run_workload, scaled_config, ProfMode, RunOptions};
 use tmprof_bench::scale::Scale;
+use tmprof_core::rank::RankSource;
+use tmprof_sim::machine::Machine;
+use tmprof_sim::runner::{OpStream, Runner};
+use tmprof_sim::tlb::Pid;
 use tmprof_workloads::spec::WorkloadKind;
 
 #[test]
@@ -13,10 +17,7 @@ fn full_harness_runs_are_bit_stable() {
         let b = run_workload(kind, &opts);
         assert_eq!(a.detection, b.detection, "{}", kind.name());
         assert_eq!(a.counts, b.counts, "{}", kind.name());
-        assert_eq!(
-            a.trace_stats.counted_samples,
-            b.trace_stats.counted_samples
-        );
+        assert_eq!(a.trace_stats.counted_samples, b.trace_stats.counted_samples);
         assert_eq!(a.abit_stats.observations, b.abit_stats.observations);
         // Replay logs agree epoch by epoch.
         assert_eq!(a.log.epochs.len(), b.log.epochs.len());
@@ -26,6 +27,71 @@ fn full_harness_runs_are_bit_stable() {
             assert_eq!(ea.profile.trace, eb.profile.trace);
         }
         assert_eq!(a.log.first_touch_order, b.log.first_touch_order);
+    }
+}
+
+#[test]
+fn ranked_profiles_are_identical_across_runs() {
+    // The policy-facing artifact is the *ranked* page list. Two runs with
+    // the same seed must produce identical rank vectors, epoch by epoch,
+    // under every rank source — not just identical raw count maps.
+    for kind in [WorkloadKind::WebServing, WorkloadKind::Gups] {
+        let opts = RunOptions::new(Scale::quick()).dense();
+        let a = run_workload(kind, &opts);
+        let b = run_workload(kind, &opts);
+        assert_eq!(a.log.epochs.len(), b.log.epochs.len(), "{}", kind.name());
+        for (i, (ea, eb)) in a.log.epochs.iter().zip(&b.log.epochs).enumerate() {
+            for source in RankSource::ALL {
+                assert_eq!(
+                    ea.profile.ranked(source),
+                    eb.profile.ranked(source),
+                    "{} epoch {i} {source:?}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// Drive `kind` on a fresh machine and return the lifetime ground truth as
+/// a sorted (page, accesses) vector.
+fn lifetime_truth(kind: WorkloadKind) -> Vec<(u64, u64)> {
+    let scale = Scale::quick();
+    let cfg = scaled_config(kind, &scale);
+    let mut machine: Machine = profiling_machine(&cfg, &scale, scale.base_period);
+    let mut gens = cfg.spawn();
+    let pids: Vec<Pid> = (1..=gens.len() as Pid).collect();
+    for &pid in &pids {
+        machine.add_process(pid);
+    }
+    for _ in 0..scale.epochs {
+        let streams: Vec<(Pid, &mut dyn OpStream)> = gens
+            .iter_mut()
+            .enumerate()
+            .map(|(i, g)| (pids[i], &mut **g as &mut dyn OpStream))
+            .collect();
+        Runner::new(streams).run(&mut machine, scale.ops_per_epoch);
+        machine.advance_epoch();
+    }
+    let mut v: Vec<(u64, u64)> = machine
+        .truth()
+        .lifetime_mem()
+        .iter()
+        .map(|(&k, &c)| (k, c))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn ground_truth_is_identical_across_runs() {
+    // The simulator's ground-truth accounting itself must be bit-stable:
+    // same seed, same machine, same lifetime access counts.
+    for kind in [WorkloadKind::DataCaching, WorkloadKind::Gups] {
+        let a = lifetime_truth(kind);
+        let b = lifetime_truth(kind);
+        assert!(!a.is_empty(), "{} produced no truth", kind.name());
+        assert_eq!(a, b, "{}", kind.name());
     }
 }
 

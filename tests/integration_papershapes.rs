@@ -42,7 +42,12 @@ fn table4_shape_rate_scaling() {
             kind.name(),
             runs.iter().map(|r| r.detection.trace).collect::<Vec<_>>()
         );
-        assert_eq!(runs[0].detection.abit, runs[2].detection.abit, "{}", kind.name());
+        assert_eq!(
+            runs[0].detection.abit,
+            runs[2].detection.abit,
+            "{}",
+            kind.name()
+        );
     }
 }
 
@@ -105,7 +110,10 @@ fn overhead_shape_ordering_and_abit_bound() {
     .counts
     .cycles as f64;
     let (o_abit, o_ibs1, o_ibs4) = (abit / base - 1.0, ibs1 / base - 1.0, ibs4 / base - 1.0);
-    assert!(o_abit < 0.01, "A-bit overhead {o_abit} breaks the <1% bound");
+    assert!(
+        o_abit < 0.01,
+        "A-bit overhead {o_abit} breaks the <1% bound"
+    );
     assert!(o_abit < o_ibs4, "ordering violated: {o_abit} vs {o_ibs4}");
     assert!(o_ibs1 < o_ibs4, "rate must cost: {o_ibs1} vs {o_ibs4}");
 }

@@ -16,7 +16,11 @@ fn machine_for(cfg: &tmprof_workloads::spec::WorkloadConfig) -> Machine {
     Machine::new(MachineConfig::scaled(2, frames, 0, BASE_PERIOD))
 }
 
-fn run_epochs(kind: WorkloadKind, epochs: u32, ops: u64) -> (Machine, Tmp, Vec<tmprof_core::profiler::TmpEpochReport>) {
+fn run_epochs(
+    kind: WorkloadKind,
+    epochs: u32,
+    ops: u64,
+) -> (Machine, Tmp, Vec<tmprof_core::profiler::TmpEpochReport>) {
     let cfg = kind.default_config().scaled_footprint(1, 8);
     let mut machine = machine_for(&cfg);
     let mut gens = cfg.spawn();
@@ -70,7 +74,10 @@ fn op_accounting_is_conserved() {
     assert!(counts.l1d_misses >= counts.l2_misses);
     assert!(counts.l2_misses >= counts.llc_misses);
     // Tier accesses partition LLC misses.
-    assert_eq!(counts.llc_misses, counts.tier1_accesses + counts.tier2_accesses);
+    assert_eq!(
+        counts.llc_misses,
+        counts.tier1_accesses + counts.tier2_accesses
+    );
     // Walks can't outnumber first-level TLB misses.
     assert!(counts.ptw_walks <= counts.dtlb_l1_misses);
 }

@@ -127,7 +127,10 @@ fn replay_log_structure_is_sound() {
     let order: std::collections::HashSet<u64> = log.first_touch_order.iter().copied().collect();
     for e in &log.epochs {
         for k in e.truth_mem.keys() {
-            assert!(order.contains(k), "page {k:#x} accessed but never allocated");
+            assert!(
+                order.contains(k),
+                "page {k:#x} accessed but never allocated"
+            );
         }
     }
 }
