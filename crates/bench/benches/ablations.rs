@@ -126,7 +126,7 @@ fn ablation_filter(c: &mut Criterion) {
         b.iter_batched(
             setup,
             |(mut m, _filter)| {
-                let pids = m.pids();
+                let pids: Vec<_> = m.pids().collect();
                 let mut sc = ABitScanner::new(ABitConfig::unbounded());
                 sc.scan(&mut m, &pids);
                 black_box(sc.stats().ptes_visited)

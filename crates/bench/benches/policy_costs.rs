@@ -58,7 +58,7 @@ fn bench_replay(c: &mut Criterion) {
         let mut rng = Rng::new(11);
         for _ in 0..8 {
             let profile = synthetic_profile(pages);
-            let mut truth = std::collections::HashMap::new();
+            let mut truth = tmprof_sim::keymap::KeyMap::default();
             for v in 0..pages {
                 truth.insert(
                     PageKey {

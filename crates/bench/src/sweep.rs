@@ -32,6 +32,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+/// One grid cell's pending outcome: wall-clock plus the cell's result or
+/// the captured panic message.
+type CellSlot<T> = Mutex<Option<(Duration, Result<T, String>)>>;
+
 /// Environment variable overriding the worker-thread count.
 pub const WORKERS_ENV: &str = "TMPROF_SWEEP_WORKERS";
 
@@ -94,8 +98,7 @@ where
         let workers = self.resolve_workers(n);
         let started = Instant::now();
 
-        let slots: Vec<Mutex<Option<(Duration, Result<T, String>)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<CellSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
 
         std::thread::scope(|scope| {

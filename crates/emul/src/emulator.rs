@@ -142,7 +142,7 @@ impl NvmEmulator {
     pub fn protect_slow_pages(&mut self, machine: &mut Machine) -> usize {
         self.protect_passes += 1;
         let layout = machine.memory().clone();
-        let pids: Vec<Pid> = machine.pids();
+        let pids: Vec<Pid> = machine.pids().collect();
         let mut protected = 0;
         for pid in pids {
             let mut vpns: Vec<Vpn> = Vec::new();

@@ -121,6 +121,8 @@ pub struct TraceProfiler {
     heat: Vec<HeatPoint>,
     stats: TraceStats,
     enabled: bool,
+    /// Reusable drain buffer: one allocation for the run, not one per poll.
+    scratch: Vec<TraceSample>,
 }
 
 impl TraceProfiler {
@@ -138,6 +140,7 @@ impl TraceProfiler {
             heat: Vec::new(),
             stats: TraceStats::default(),
             enabled: true,
+            scratch: Vec::new(),
         }
     }
 
@@ -176,17 +179,19 @@ impl TraceProfiler {
     pub fn poll(&mut self, machine: &mut Machine) {
         let interrupt = machine.config().latency.sample_interrupt;
         let mut batch: Vec<u64> = Vec::new();
+        let mut scratch = std::mem::take(&mut self.scratch);
         for core in 0..machine.num_cores() {
-            let (samples, info) = machine.trace_engine_mut(core).drain();
+            scratch.clear();
+            let info = machine.trace_engine_mut(core).drain_into(&mut scratch);
             let epoch = machine.epoch();
             // Every tag raised an interrupt: records and address-less tags.
-            let cost = (samples.len() as u64 + info.nonmem_tags) * interrupt;
+            let cost = (scratch.len() as u64 + info.nonmem_tags) * interrupt;
             machine.charge_profiling(core, cost);
             self.stats.overhead_cycles += cost;
             self.stats.wasted_tags += info.nonmem_tags;
             self.stats.dropped_samples += info.dropped;
-            for s in samples {
-                if !self.counts(&s) {
+            for s in &scratch {
+                if !self.counts(s) {
                     self.stats.filtered_samples += 1;
                     continue;
                 }
@@ -203,6 +208,7 @@ impl TraceProfiler {
                 }
             }
         }
+        self.scratch = scratch;
         self.epoch_pages.extend_from_slice(&batch);
         self.seen_pages.merge_unsorted(batch);
     }

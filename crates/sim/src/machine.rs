@@ -16,6 +16,7 @@
 //! hardware exposes.
 
 use crate::addr::{phys_addr, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
+use crate::batch::TranslateMemo;
 use crate::cache::{Cache, CacheLevel, PrivateCaches};
 use crate::counters::EventCounts;
 use crate::frame::{FrameAllocator, OutOfMemory};
@@ -203,6 +204,17 @@ pub struct ExecOutcome {
     pub sampled: bool,
 }
 
+/// One memory access as seen by the post-translation pipeline
+/// ([`Machine::finish_mem`]), shared by the reference and batched paths.
+#[derive(Clone, Copy)]
+pub(crate) struct MemAccess {
+    pub(crate) core: usize,
+    pub(crate) pid: Pid,
+    pub(crate) va: VirtAddr,
+    pub(crate) store: bool,
+    pub(crate) site: u32,
+}
+
 /// A protection fault delivered to the installed [`FaultPolicy`].
 #[derive(Clone, Copy, Debug)]
 pub struct PoisonFault {
@@ -235,12 +247,14 @@ pub trait FaultPolicy: Send {
     fn handle(&mut self, fault: &PoisonFault) -> FaultAction;
 }
 
-struct Core {
-    caches: PrivateCaches,
-    tlb: Tlb,
-    counts: EventCounts,
-    trace: TraceEngine,
-    pml: PmlEngine,
+pub(crate) struct Core {
+    pub(crate) caches: PrivateCaches,
+    pub(crate) tlb: Tlb,
+    pub(crate) counts: EventCounts,
+    pub(crate) trace: TraceEngine,
+    pub(crate) pml: PmlEngine,
+    /// Software translation memo for the batched fast path (`batch.rs`).
+    pub(crate) memo: TranslateMemo,
 }
 
 /// One simulated process: an address space plus usage accounting.
@@ -285,16 +299,16 @@ impl std::error::Error for MigrateError {}
 /// The simulated machine. See the module docs for the execution model.
 pub struct Machine {
     cfg: MachineConfig,
-    cores: Vec<Core>,
+    pub(crate) cores: Vec<Core>,
     llc: Cache,
     /// Processes sorted by PID; `pid_index` maps PID -> position. A dense
     /// vec + fast-hash index keeps the per-op process lookup off the
     /// `BTreeMap` pointer-chase that used to dominate `exec_op`.
-    processes: Vec<Process>,
+    pub(crate) processes: Vec<Process>,
     pid_index: KeyMap<Pid, usize>,
     frames: FrameAllocator,
     descs: PageDescTable,
-    truth: GroundTruth,
+    pub(crate) truth: GroundTruth,
     epoch: u32,
     fault_policy: Option<Box<dyn FaultPolicy>>,
     /// Packed [`PageKey`]s in the order they were first touched (minor
@@ -319,6 +333,7 @@ impl Machine {
                 counts: EventCounts::default(),
                 trace: TraceEngine::new(cfg.trace_mode),
                 pml: PmlEngine::new(),
+                memo: TranslateMemo::new(),
             })
             .collect();
         let llc = Cache::new("LLC", cfg.caches.llc_bytes, cfg.caches.llc_ways);
@@ -391,7 +406,7 @@ impl Machine {
 
     /// Position of `pid` in the dense process table.
     #[inline]
-    fn proc_idx(&self, pid: Pid) -> usize {
+    pub(crate) fn proc_idx(&self, pid: Pid) -> usize {
         *self.pid_index.get(&pid).expect("unknown pid")
     }
 
@@ -402,9 +417,15 @@ impl Machine {
         self.processes[idx].thp = enabled;
     }
 
-    /// Registered PIDs, ascending.
-    pub fn pids(&self) -> Vec<Pid> {
-        self.processes.iter().map(|p| p.pid).collect()
+    /// Registered PIDs, ascending. Borrows instead of allocating; collect
+    /// when a snapshot must outlive machine mutation.
+    pub fn pids(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.processes.iter().map(|p| p.pid)
+    }
+
+    /// Number of registered processes.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
     }
 
     /// Access a process.
@@ -416,6 +437,9 @@ impl Machine {
     /// descriptor table, and the current epoch. This is the entry point the
     /// A-bit driver uses (`mm_walk` + `phys_to_page`).
     pub fn scan_parts(&mut self, pid: Pid) -> Option<(&mut PageTable, &mut PageDescTable, u32)> {
+        // The caller may clear A bits or poison PTEs through the returned
+        // borrows; drop the batched fast path's hints.
+        self.invalidate_memos();
         let epoch = self.epoch;
         let idx = *self.pid_index.get(&pid)?;
         let proc = &mut self.processes[idx];
@@ -437,11 +461,18 @@ impl Machine {
         &self.cores[core].counts
     }
 
+    /// Per-core counters, core order, without the aggregate copy. Callers
+    /// that only need one or two fields fold this instead of paying
+    /// [`Machine::aggregate_counts`].
+    pub fn counts_iter(&self) -> impl Iterator<Item = &EventCounts> {
+        self.cores.iter().map(|c| &c.counts)
+    }
+
     /// Sum of all cores' counters.
     pub fn aggregate_counts(&self) -> EventCounts {
         let mut total = EventCounts::default();
-        for c in &self.cores {
-            total.add(&c.counts);
+        for c in self.counts_iter() {
+            total.add(c);
         }
         total
     }
@@ -470,8 +501,18 @@ impl Machine {
     /// Close the current epoch: bump the epoch index and return the epoch's
     /// ground truth.
     pub fn advance_epoch(&mut self) -> EpochTruth {
+        self.invalidate_memos();
         self.epoch += 1;
         self.truth.take_epoch()
+    }
+
+    /// Drop every core's translation-memo hints (O(1) per core). The memo
+    /// is verified on use, so this is hygiene, not correctness: it stops
+    /// the fast path from probing hints that events below have made dead.
+    fn invalidate_memos(&mut self) {
+        for core in &mut self.cores {
+            core.memo.clear();
+        }
     }
 
     /// Charge profiling work to a core's clock (scan costs, drain interrupts).
@@ -491,6 +532,7 @@ impl Machine {
         let ipi = self.cfg.latency.shootdown_ipi;
         let mut charged = 0;
         for core in &mut self.cores {
+            core.memo.clear();
             for &vpn in vpns {
                 core.tlb.invalidate_page(pid, vpn);
             }
@@ -510,6 +552,7 @@ impl Machine {
     /// runtimes being compared.
     pub fn shootdown_silent(&mut self, pid: Pid, vpns: &[Vpn]) {
         for core in &mut self.cores {
+            core.memo.clear();
             for &vpn in vpns {
                 core.tlb.invalidate_page(pid, vpn);
             }
@@ -592,9 +635,26 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn exec_mem(
         &mut self,
         core_idx: usize,
+        pid: Pid,
+        va: VirtAddr,
+        store: bool,
+        site: u32,
+    ) -> ExecOutcome {
+        let proc_idx = self.proc_idx(pid);
+        self.exec_mem_at(core_idx, proc_idx, pid, va, store, site)
+    }
+
+    /// Reference memory-op execution with the process index pre-resolved
+    /// (the batched path hoists the lookup out of its loop).
+    #[inline]
+    pub(crate) fn exec_mem_at(
+        &mut self,
+        core_idx: usize,
+        proc_idx: usize,
         pid: Pid,
         va: VirtAddr,
         store: bool,
@@ -609,7 +669,6 @@ impl Machine {
         };
 
         // --- bookkeeping: retirement ---
-        let proc_idx = self.proc_idx(pid);
         {
             self.processes[proc_idx].ops_executed += 1;
             let c = &mut self.cores[core_idx].counts;
@@ -624,9 +683,41 @@ impl Machine {
         // --- address translation ---
         let (pfn, tlb_hit) = self.translate(core_idx, proc_idx, pid, vpn, store, &mut out);
         out.tlb = Some(tlb_hit);
+
+        // --- cache hierarchy + trace sampling (shared with the batched
+        // fast path, which must replay them bit-for-bit) ---
+        let acc = MemAccess {
+            core: core_idx,
+            pid,
+            va,
+            store,
+            site,
+        };
+        let is_mem = self.finish_mem(&acc, pfn, &mut out);
+
+        // --- ground truth (invisible to profilers) ---
+        self.truth.record(PageKey { pid, vpn }, is_mem);
+        out
+    }
+
+    /// Everything after translation: cache hierarchy, cycle charging and
+    /// the trace-sampling offer. Both execution paths — reference and
+    /// batched — run this exact code, so their post-translation state
+    /// evolution is identical by construction. Returns whether the access
+    /// was served from memory (the caller records ground truth, since the
+    /// batched path batches those updates).
+    #[inline(always)]
+    pub(crate) fn finish_mem(&mut self, acc: &MemAccess, pfn: Pfn, out: &mut ExecOutcome) -> bool {
+        let lat = self.cfg.latency;
+        let &MemAccess {
+            core: core_idx,
+            pid,
+            va,
+            store,
+            site,
+        } = acc;
         let pa = phys_addr(pfn, va.page_offset());
 
-        // --- cache hierarchy ---
         let core = &mut self.cores[core_idx];
         let source;
         let mut tier = None;
@@ -683,10 +774,6 @@ impl Machine {
         out.source = Some(source);
         out.tier = tier;
 
-        // --- ground truth (invisible to profilers) ---
-        let key = PageKey { pid, vpn };
-        self.truth.record(key, source == CacheLevel::Memory);
-
         // --- trace-sampling hardware ---
         let core = &mut self.cores[core_idx];
         let sample = TraceSample {
@@ -700,12 +787,12 @@ impl Machine {
             source,
             tier,
             latency: (out.cycles - lat.base_op).min(u32::MAX as u64) as u32,
-            tlb_hit: tlb_hit != TlbHit::Miss,
+            tlb_hit: out.tlb != Some(TlbHit::Miss),
         };
         out.sampled = core.trace.offer_mem(sample) == TagOutcome::Tagged;
 
-        core.counts.cycles += out.cycles - lat.base_op + lat.base_op;
-        out
+        core.counts.cycles += out.cycles;
+        source == CacheLevel::Memory
     }
 
     /// Account a dirty line written back to memory (tier 2 writebacks are
@@ -738,7 +825,14 @@ impl Machine {
         };
         if let Some(tr) = hit {
             if tr.level == TlbHit::L2 {
-                self.cores[core_idx].counts.dtlb_l1_misses += 1;
+                let core = &mut self.cores[core_idx];
+                core.counts.dtlb_l1_misses += 1;
+                // The promotion placed the entry in L1: hint the batched
+                // fast path. (L1 hits skip this — the hint is already
+                // recorded, and the reference hot path stays untouched.)
+                if !tr.entry.huge {
+                    core.memo.remember(pid, vpn, tr.l1_slot as usize);
+                }
             }
             let pfn = tr.entry.frame_for(vpn);
             if tr.needs_dirty_writeback {
@@ -814,7 +908,10 @@ impl Machine {
                         if newly_dirty {
                             core.pml.record_dirty(pfn);
                         }
-                        core.tlb.fill(entry);
+                        let l1_slot = core.tlb.fill(entry);
+                        if !entry.huge {
+                            core.memo.remember(pid, vpn, l1_slot);
+                        }
                         return (pfn, TlbHit::Miss);
                     }
                     snapshot

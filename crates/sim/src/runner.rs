@@ -16,6 +16,16 @@ pub trait OpStream {
     /// Produce the next op. Streams are infinite: generators loop their
     /// phase structure.
     fn next_op(&mut self) -> WorkOp;
+
+    /// Fill `buf` with the next `buf.len()` ops, exactly as repeated
+    /// [`OpStream::next_op`] calls would. Generators override this with a
+    /// monomorphized loop (no per-op virtual dispatch); the default is the
+    /// reference implementation.
+    fn fill_batch(&mut self, buf: &mut [WorkOp]) {
+        for slot in buf.iter_mut() {
+            *slot = self.next_op();
+        }
+    }
 }
 
 /// Blanket impl so closures can serve as streams in tests.
@@ -28,6 +38,24 @@ impl<F: FnMut() -> WorkOp> OpStream for F {
 /// Default scheduling quantum, in ops.
 pub const DEFAULT_BATCH: u64 = 4096;
 
+/// Environment variable overriding the scheduling quantum (in ops).
+/// Values that fail to parse as a positive integer fall back to
+/// [`DEFAULT_BATCH`], mirroring `TMPROF_SWEEP_WORKERS`. Note the quantum
+/// changes the multiplexing interleave (it is a *scheduling* knob, not just
+/// a performance one), so recorded experiment outputs assume the default.
+pub const BATCH_ENV: &str = "TMPROF_SIM_BATCH";
+
+/// Quantum from [`BATCH_ENV`], validated, defaulting to [`DEFAULT_BATCH`].
+fn resolve_batch() -> u64 {
+    parse_batch(std::env::var(BATCH_ENV).ok())
+}
+
+fn parse_batch(raw: Option<String>) -> u64 {
+    raw.and_then(|v| v.parse::<u64>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(DEFAULT_BATCH)
+}
+
 /// Deterministic round-robin scheduler over process streams.
 pub struct Runner<'a> {
     streams: Vec<(Pid, &'a mut dyn OpStream)>,
@@ -35,16 +63,18 @@ pub struct Runner<'a> {
 }
 
 impl<'a> Runner<'a> {
-    /// Build a runner over `(pid, stream)` pairs with the default quantum.
+    /// Build a runner over `(pid, stream)` pairs. The scheduling quantum is
+    /// [`DEFAULT_BATCH`] unless overridden by [`BATCH_ENV`] or
+    /// [`Runner::with_batch`].
     pub fn new(streams: Vec<(Pid, &'a mut dyn OpStream)>) -> Self {
         assert!(!streams.is_empty(), "runner needs at least one stream");
         Self {
             streams,
-            batch: DEFAULT_BATCH,
+            batch: resolve_batch(),
         }
     }
 
-    /// Override the scheduling quantum.
+    /// Override the scheduling quantum (takes precedence over [`BATCH_ENV`]).
     pub fn with_batch(mut self, batch: u64) -> Self {
         assert!(batch > 0);
         self.batch = batch;
@@ -54,26 +84,29 @@ impl<'a> Runner<'a> {
     /// Run until every stream has retired `ops_per_stream` ops.
     ///
     /// Stream `i` executes on core `i % cores`; cores hosting several
-    /// streams alternate between them every quantum.
+    /// streams alternate between them every quantum. Each quantum is
+    /// generated into a reusable buffer via [`OpStream::fill_batch`] and
+    /// executed whole through [`Machine::exec_batch`].
     pub fn run(&mut self, machine: &mut Machine, ops_per_stream: u64) {
         let cores = machine.num_cores();
         let n = self.streams.len();
         let mut remaining: Vec<u64> = vec![ops_per_stream; n];
         let mut total_left: u64 = ops_per_stream * n as u64;
+        let quantum = self.batch.min(ops_per_stream).max(1) as usize;
+        let mut buf: Vec<WorkOp> = vec![WorkOp::Compute; quantum];
         // Per-core rotation cursor over the streams assigned to that core.
         let mut cursors: Vec<usize> = vec![0; cores];
         while total_left > 0 {
-            #[allow(clippy::needless_range_loop)] // core indexes two arrays
-            for core in 0..cores {
+            for (core, cursor) in cursors.iter_mut().enumerate() {
                 // Streams assigned to this core: indices ≡ core (mod cores).
-                let assigned: u64 = ((n + cores - 1 - core) / cores) as u64;
+                let assigned = (n + cores - 1 - core) / cores;
                 if assigned == 0 {
                     continue;
                 }
                 // Pick the cursor-th live assigned stream.
                 let mut pick = None;
                 for k in 0..assigned {
-                    let slot = (cursors[core] + k as usize) % assigned as usize;
+                    let slot = (*cursor + k) % assigned;
                     let idx = core + slot * cores;
                     if idx < n && remaining[idx] > 0 {
                         pick = Some((idx, slot));
@@ -81,15 +114,14 @@ impl<'a> Runner<'a> {
                     }
                 }
                 let Some((idx, slot)) = pick else { continue };
-                cursors[core] = (slot + 1) % assigned as usize;
-                let quota = self.batch.min(remaining[idx]);
+                *cursor = (slot + 1) % assigned;
+                let quota = self.batch.min(remaining[idx]) as usize;
                 let (pid, stream) = &mut self.streams[idx];
-                for _ in 0..quota {
-                    let op = stream.next_op();
-                    machine.exec_op(core, *pid, op);
-                }
-                remaining[idx] -= quota;
-                total_left -= quota;
+                let ops = &mut buf[..quota];
+                stream.fill_batch(ops);
+                machine.exec_batch(core, *pid, ops);
+                remaining[idx] -= quota as u64;
+                total_left -= quota as u64;
             }
         }
     }
@@ -186,5 +218,25 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn empty_runner_panics() {
         let _ = Runner::new(vec![]);
+    }
+
+    #[test]
+    fn batch_env_values_are_validated() {
+        assert_eq!(parse_batch(None), DEFAULT_BATCH);
+        assert_eq!(parse_batch(Some("123".into())), 123);
+        assert_eq!(parse_batch(Some("0".into())), DEFAULT_BATCH);
+        assert_eq!(parse_batch(Some("-4".into())), DEFAULT_BATCH);
+        assert_eq!(parse_batch(Some("garbage".into())), DEFAULT_BATCH);
+    }
+
+    #[test]
+    fn default_fill_batch_matches_next_op() {
+        let mut a = touch_stream(0);
+        let mut b = touch_stream(0);
+        let mut buf = [WorkOp::Compute; 33];
+        OpStream::fill_batch(&mut a, &mut buf);
+        for op in buf {
+            assert_eq!(op, b());
+        }
     }
 }

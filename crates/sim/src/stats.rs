@@ -65,6 +65,18 @@ impl GroundTruth {
         }
     }
 
+    /// Record `refs` references to one packed page key, `mems` of them at
+    /// the memory level. Equivalent to `refs` calls of [`GroundTruth::record`]
+    /// (the batched executor's run-length flush).
+    #[inline]
+    pub fn record_many(&mut self, packed: u64, refs: u64, mems: u64) {
+        *self.current.references.entry(packed).or_insert(0) += refs;
+        if mems > 0 {
+            *self.current.mem_accesses.entry(packed).or_insert(0) += mems;
+            *self.lifetime_mem.entry(packed).or_insert(0) += mems;
+        }
+    }
+
     /// Close the epoch: return its truth and start a fresh one.
     pub fn take_epoch(&mut self) -> EpochTruth {
         std::mem::take(&mut self.current)

@@ -235,6 +235,21 @@ impl TraceEngine {
         (std::mem::take(&mut self.buf), info)
     }
 
+    /// [`TraceEngine::drain`] into a caller-owned buffer (appended), keeping
+    /// both the engine's ring allocation and the caller's buffer alive
+    /// across polls — the batch-aware drain path, one allocation for the
+    /// whole run instead of one per core per poll.
+    pub fn drain_into(&mut self, out: &mut Vec<TraceSample>) -> DrainInfo {
+        let info = DrainInfo {
+            nonmem_tags: self.nonmem_tags,
+            dropped: self.dropped,
+        };
+        self.nonmem_tags = 0;
+        self.dropped = 0;
+        out.append(&mut self.buf);
+        info
+    }
+
     /// Samples waiting to be drained.
     pub fn pending(&self) -> usize {
         self.buf.len()

@@ -111,6 +111,49 @@ impl ComputeMixer {
     }
 }
 
+/// Implements `OpStream` for a generator built on the shared
+/// mixer + queue + `step()` structure (all eight Table III generators).
+///
+/// Generates both `next_op` and a native `fill_batch`: the batch fill runs
+/// the same mixer/queue state machine in a monomorphized loop, so filling a
+/// scheduling quantum costs one virtual call instead of one per op. Both
+/// paths advance the generator through identical states — `fill_batch` is
+/// `next_op` unrolled, nothing more — which the determinism tests rely on.
+macro_rules! impl_mixed_stream {
+    ($ty:ty) => {
+        impl tmprof_sim::runner::OpStream for $ty {
+            fn next_op(&mut self) -> tmprof_sim::machine::WorkOp {
+                if let Some(c) = self.mixer.step() {
+                    return c;
+                }
+                loop {
+                    if let Some(op) = self.queue.pop() {
+                        return op;
+                    }
+                    self.step();
+                }
+            }
+
+            fn fill_batch(&mut self, buf: &mut [tmprof_sim::machine::WorkOp]) {
+                for slot in buf.iter_mut() {
+                    *slot = if let Some(c) = self.mixer.step() {
+                        c
+                    } else {
+                        loop {
+                            if let Some(op) = self.queue.pop() {
+                                break op;
+                            }
+                            self.step();
+                        }
+                    };
+                }
+            }
+        }
+    };
+}
+
+pub(crate) use impl_mixed_stream;
+
 /// A small queue of memory ops a generator has decided to issue (one
 /// logical workload "step" often produces several accesses).
 #[derive(Default)]

@@ -122,19 +122,7 @@ impl DataAnalytics {
     }
 }
 
-impl OpStream for DataAnalytics {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(DataAnalytics);
 
 #[cfg(test)]
 mod tests {

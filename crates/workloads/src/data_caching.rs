@@ -113,19 +113,7 @@ impl DataCaching {
     }
 }
 
-impl OpStream for DataCaching {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(DataCaching);
 
 #[cfg(test)]
 mod tests {

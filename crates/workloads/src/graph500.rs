@@ -135,19 +135,7 @@ impl Graph500 {
     }
 }
 
-impl OpStream for Graph500 {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(Graph500);
 
 #[cfg(test)]
 mod tests {

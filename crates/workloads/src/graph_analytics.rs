@@ -104,19 +104,7 @@ impl GraphAnalytics {
     }
 }
 
-impl OpStream for GraphAnalytics {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(GraphAnalytics);
 
 #[cfg(test)]
 mod tests {

@@ -52,19 +52,7 @@ impl Gups {
     }
 }
 
-impl OpStream for Gups {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(Gups);
 
 #[cfg(test)]
 mod tests {

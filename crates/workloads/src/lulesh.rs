@@ -117,19 +117,7 @@ impl Lulesh {
     }
 }
 
-impl OpStream for Lulesh {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(Lulesh);
 
 #[cfg(test)]
 mod tests {

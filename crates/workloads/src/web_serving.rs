@@ -112,19 +112,7 @@ impl WebServing {
     }
 }
 
-impl OpStream for WebServing {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(WebServing);
 
 #[cfg(test)]
 mod tests {

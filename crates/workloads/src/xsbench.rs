@@ -93,19 +93,7 @@ impl XsBench {
     }
 }
 
-impl OpStream for XsBench {
-    fn next_op(&mut self) -> WorkOp {
-        if let Some(c) = self.mixer.step() {
-            return c;
-        }
-        loop {
-            if let Some(op) = self.queue.pop() {
-                return op;
-            }
-            self.step();
-        }
-    }
-}
+crate::common::impl_mixed_stream!(XsBench);
 
 #[cfg(test)]
 mod tests {

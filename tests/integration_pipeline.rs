@@ -155,7 +155,7 @@ fn multi_process_workloads_profile_all_pids() {
         .collect();
     assert_eq!(
         pids.len(),
-        machine.pids().len(),
+        machine.num_processes(),
         "A-bit scan must cover every busy process"
     );
 }

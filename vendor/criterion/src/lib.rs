@@ -129,7 +129,7 @@ impl Bencher<'_> {
     }
 }
 
-fn report(name: &str, samples: &mut Vec<Duration>) {
+fn report(name: &str, samples: &mut [Duration]) {
     if samples.is_empty() {
         println!("{name:<40} time:   [no samples]");
         return;
