@@ -12,8 +12,6 @@
 //! Reported per workload: total cycles, tier-2 *store* traffic (the
 //! endurance/energy proxy), and the write-aware variant's deltas.
 
-use std::collections::HashMap;
-
 use tmprof_bench::harness::scaled_config;
 use tmprof_bench::scale::Scale;
 use tmprof_bench::sweep::Sweep;
@@ -24,6 +22,7 @@ use tmprof_policy::mover::PageMover;
 use tmprof_policy::policies::{HistoryPolicy, PlacementPolicy};
 use tmprof_policy::write_aware::WriteAwarePolicy;
 use tmprof_profilers::pml::PmlTracker;
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::{CacheProfile, LatencyConfig, Machine, MachineConfig};
 use tmprof_sim::runner::{OpStream, Runner};
 use tmprof_sim::tier::{Tier, TierSpec, TieredMemory};
@@ -96,7 +95,7 @@ fn run(kind: WorkloadKind, scale: &Scale, write_aware: bool) -> RunResult {
         // Fold the PML log into logical-page write counts before the
         // profiler's epoch reset clears descriptor owners' epoch stats.
         pml.drain(&mut machine);
-        let mut write_counts: HashMap<u64, u64> = HashMap::new();
+        let mut write_counts: KeyMap<u64, u64> = KeyMap::default();
         for (pfn, count) in pml.ranked_dirty_frames() {
             if let Some(owner) = machine.descs().get(pfn).owner {
                 *write_counts.entry(owner.pack()).or_insert(0) += count;

@@ -73,11 +73,12 @@ impl Scale {
         }
     }
 
-    /// Resolve from `TMPROF_SCALE` (default: [`Scale::default_scale`]).
+    /// Resolve from the registered [`tmprof_core::knobs::SCALE`] knob
+    /// (default: [`Scale::default_scale`]).
     pub fn from_env() -> Self {
-        match std::env::var("TMPROF_SCALE").as_deref() {
-            Ok("quick") => Self::quick(),
-            Ok("full") => Self::full(),
+        match tmprof_core::knobs::SCALE.get().as_deref() {
+            Some("quick") => Self::quick(),
+            Some("full") => Self::full(),
             _ => Self::default_scale(),
         }
     }
@@ -105,7 +106,7 @@ mod tests {
     #[test]
     fn env_fallback_is_default() {
         // Only checks the no-env path deterministically.
-        std::env::remove_var("TMPROF_SCALE");
+        std::env::remove_var(tmprof_core::knobs::SCALE.name);
         let s = Scale::from_env();
         assert_eq!(s.ops_per_epoch, Scale::default_scale().ops_per_epoch);
     }

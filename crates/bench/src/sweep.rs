@@ -36,8 +36,9 @@ use std::time::{Duration, Instant};
 /// the captured panic message.
 type CellSlot<T> = Mutex<Option<(Duration, Result<T, String>)>>;
 
-/// Environment variable overriding the worker-thread count.
-pub const WORKERS_ENV: &str = "TMPROF_SWEEP_WORKERS";
+/// Environment variable overriding the worker-thread count (registered as
+/// [`tmprof_core::knobs::SWEEP_WORKERS`]).
+pub const WORKERS_ENV: &str = tmprof_core::knobs::SWEEP_WORKERS.name;
 
 /// A grid of (workload × parameter) experiment cells.
 pub struct Sweep<W, P> {
@@ -71,10 +72,9 @@ impl<W, P> Sweep<W, P> {
 
     fn resolve_workers(&self, cells: usize) -> usize {
         let configured = self.workers.or_else(|| {
-            std::env::var(WORKERS_ENV)
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
+            tmprof_core::knobs::SWEEP_WORKERS
+                .get_u64()
+                .map(|n| n as usize)
         });
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())

@@ -285,6 +285,23 @@ pub fn cmd_emulate(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// `tmpctl knobs`: the registered `TMPROF_*` environment knobs and their
+/// current values.
+pub fn cmd_knobs() -> String {
+    let mut out = String::from("Environment knobs (tmprof_core::knobs):\n\n");
+    for k in tmprof_core::knobs::ALL {
+        let current = k
+            .get()
+            .map(|v| format!("set to {v:?}"))
+            .unwrap_or_else(|| "unset".to_string());
+        out.push_str(&format!(
+            "  {} ({current})\n    accepts: {}\n    default: {}\n    {}\n\n",
+            k.name, k.accepts, k.default, k.help
+        ));
+    }
+    out
+}
+
 /// `tmpctl help`
 pub fn cmd_help() -> String {
     "tmpctl — the TMP tiered-memory profiler, on the simulated machine
@@ -303,6 +320,7 @@ COMMANDS:
             [--ratio-denoms 8,16,32]
   emulate   --workload W         §VI-C speedup vs first-touch
             [--ratio N]          slow:fast capacity ratio (default 15)
+  knobs                          list TMPROF_* environment knobs
   help                           this text
 
 Scale presets via TMPROF_SCALE=quick|default|full.
@@ -318,6 +336,7 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         "heatmap" => cmd_heatmap(parsed),
         "hitrate" => cmd_hitrate(parsed),
         "emulate" => cmd_emulate(parsed),
+        "knobs" => Ok(cmd_knobs()),
         "help" => Ok(cmd_help()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -364,8 +383,24 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let help = cmd_help();
-        for cmd in ["workloads", "profile", "heatmap", "hitrate", "emulate"] {
+        for cmd in [
+            "workloads",
+            "profile",
+            "heatmap",
+            "hitrate",
+            "emulate",
+            "knobs",
+        ] {
             assert!(help.contains(cmd));
+        }
+    }
+
+    #[test]
+    fn knobs_lists_every_registered_knob() {
+        let out = run(&["knobs"]).unwrap();
+        for k in tmprof_core::knobs::ALL {
+            assert!(out.contains(k.name), "{} missing", k.name);
+            assert!(out.contains(k.default), "{} default missing", k.name);
         }
     }
 

@@ -6,6 +6,7 @@
 //! traversed", re-evaluating once per second. A *restrictive* mode keeps at
 //! most a fixed number of PIDs tracked (the overhead-stability knob).
 
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::Machine;
 use tmprof_sim::tlb::Pid;
 
@@ -54,7 +55,7 @@ pub struct ProcessUsage {
 /// computed over *deltas*, like `top`.
 pub struct ProcessFilter {
     cfg: FilterConfig,
-    last_ops: std::collections::HashMap<Pid, u64>,
+    last_ops: KeyMap<Pid, u64>,
     evaluations: u64,
 }
 
@@ -63,7 +64,7 @@ impl ProcessFilter {
     pub fn new(cfg: FilterConfig) -> Self {
         Self {
             cfg,
-            last_ops: std::collections::HashMap::new(),
+            last_ops: KeyMap::default(),
             evaluations: 0,
         }
     }

@@ -11,6 +11,7 @@
 //! * [`rank`] — the hotness aggregation rule (plain sum, per Fig. 2) and
 //!   single-source variants for the paper's piecemeal comparisons.
 //! * [`daemon`] — the user-space process filter (≥5% CPU or ≥10% memory).
+//! * [`knobs`] — the registry of every `TMPROF_*` environment knob.
 //! * [`gating`] — the 20%-of-max LLC/TLB-miss activity gate.
 //! * [`report`] — detection statistics, CDFs, and the `numa_maps`-style
 //!   snapshot interface.
@@ -37,6 +38,7 @@
 
 pub mod daemon;
 pub mod gating;
+pub mod knobs;
 pub mod profiler;
 pub mod rank;
 pub mod report;

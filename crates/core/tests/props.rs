@@ -35,7 +35,7 @@ proptest! {
                 prop_assert_eq!(r.rank, profile.rank_of(r.key.pack(), source));
             }
             // Completeness: every key with positive rank appears.
-            let keys: std::collections::HashSet<u64> =
+            let keys: tmprof_sim::keymap::KeySet<u64> =
                 ranked.iter().map(|r| r.key.pack()).collect();
             for k in profile.abit.keys().chain(profile.trace.keys()) {
                 if profile.rank_of(*k, source) > 0 {

@@ -1,0 +1,11 @@
+//! Clean twin of the bench fixture: Instant is allowed here (bench owns
+//! wall-clock timing), and the knob it reads is registered.
+use std::time::Instant;
+
+pub fn scale_factor() -> u64 {
+    let _t = Instant::now();
+    match std::env::var("TMPROF_SCALE") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,4 @@
+//! Clean twin of the `wall-clock` fixture: simulated ticks only.
+pub fn profile_window_start(now_ticks: u64) -> u64 {
+    now_ticks
+}

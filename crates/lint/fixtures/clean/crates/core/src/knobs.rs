@@ -1,0 +1,8 @@
+//! Clean fixture knob table: every knob the tree reads is registered.
+pub struct Knob {
+    pub name: &'static str,
+}
+
+pub const SCALE: Knob = Knob {
+    name: "TMPROF_SCALE",
+};

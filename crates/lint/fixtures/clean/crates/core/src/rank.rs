@@ -1,0 +1,5 @@
+//! Clean twin of the `float-rank` fixture: integer-sum hotness with a
+//! fixed write weight, so ties break identically run after run.
+pub fn hotness(accesses: u64, writes: u64) -> u64 {
+    accesses * 2 + writes
+}

@@ -1,0 +1,7 @@
+//! Clean twin of the `ambient-rng` fixture: explicit seed via sim::rng.
+use tmprof_sim::rng::Rng;
+
+pub fn sample_page(seed: u64) -> u64 {
+    let mut rng = Rng::new(seed);
+    rng.next_u64() % 4096
+}

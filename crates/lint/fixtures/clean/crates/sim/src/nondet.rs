@@ -1,0 +1,6 @@
+//! Clean twin of the `nondet-iter` fixture: deterministic containers.
+use crate::keymap::{KeyMap, KeySet};
+
+pub fn hot_pages(counts: &KeyMap<u64, u64>) -> KeySet<u64> {
+    counts.keys().copied().collect()
+}

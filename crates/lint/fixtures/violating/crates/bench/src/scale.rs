@@ -1,0 +1,11 @@
+//! Fixture: `knob-registry` — an env knob read that never made it into
+//! the central table. (Instant is fine here: bench is wall-clock-exempt.)
+use std::time::Instant;
+
+pub fn scale_factor() -> u64 {
+    let _t = Instant::now();
+    match std::env::var("TMPROF_UNDOCUMENTED") {
+        Ok(v) => v.parse().unwrap_or(1),
+        Err(_) => 1,
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `wall-clock` — real time read outside bench code.
+use std::time::Instant;
+
+pub fn profile_window_start() -> Instant {
+    Instant::now()
+}

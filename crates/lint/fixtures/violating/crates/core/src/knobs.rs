@@ -1,0 +1,9 @@
+//! Fixture knob table: registers only TMPROF_SCALE, so the
+//! TMPROF_UNDOCUMENTED read in bench/src/scale.rs trips `knob-registry`.
+pub struct Knob {
+    pub name: &'static str,
+}
+
+pub const SCALE: Knob = Knob {
+    name: "TMPROF_SCALE",
+};

@@ -1,0 +1,4 @@
+//! Fixture: `float-rank` — float accumulation in the hotness ranking.
+pub fn hotness(accesses: u64, writes: u64) -> f64 {
+    accesses as f64 + 0.5 * writes as f64
+}

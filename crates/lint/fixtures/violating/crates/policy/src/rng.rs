@@ -1,0 +1,5 @@
+//! Fixture: `ambient-rng` — randomness not seeded through sim::rng.
+pub fn sample_page() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..4096)
+}

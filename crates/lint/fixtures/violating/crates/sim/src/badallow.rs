@@ -1,0 +1,9 @@
+//! Fixture: `allow-directive` — a reasonless allow is itself an error
+//! and suppresses nothing, so the HashMap below still fires.
+// tmprof-lint: allow(nondet-iter)
+use std::collections::HashMap;
+
+pub fn residency() -> HashMap<u64, u64> {
+    // tmprof-lint: allow(nondet-iter) — bounded and sorted
+    HashMap::new()
+}

@@ -1,0 +1,18 @@
+//! Fixture: `panic-hot-path` — bare unwrap/panic in the sim hot path
+//! with no invariant annotation.
+pub fn translate(slot: Option<u64>) -> u64 {
+    let pfn = slot.unwrap();
+    if pfn == u64::MAX {
+        panic!("translation did not converge");
+    }
+    pfn
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap in test code is fine: the rule skips #[cfg(test)] spans.
+    #[test]
+    fn test_unwrap_is_exempt() {
+        assert_eq!(Some(7u64).unwrap(), 7);
+    }
+}

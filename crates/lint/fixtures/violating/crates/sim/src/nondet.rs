@@ -1,0 +1,7 @@
+//! Fixture: `nondet-iter` — std hash containers in a deterministic crate.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn hot_pages(counts: &HashMap<u64, u64>) -> HashSet<u64> {
+    counts.keys().copied().collect()
+}

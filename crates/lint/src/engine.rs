@@ -1,0 +1,299 @@
+//! The lint driver: walk the tree, build the knob registry, run the
+//! rules, then resolve `allow(...)` directives and directive-hygiene
+//! violations.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed, TokenKind};
+use crate::rules::{self, Violation};
+
+/// The outcome of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, ordered by (file, line).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Minimal hand-rolled JSON (the workspace is offline; no serde).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                json_escape(v.rule),
+                json_escape(&v.file),
+                v.line,
+                json_escape(&v.message)
+            ));
+        }
+        s.push_str(&format!(
+            "],\"count\":{},\"files_checked\":{}}}",
+            self.violations.len(),
+            self.files_checked
+        ));
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Where the knob table lives, relative to the workspace root. The
+/// `knob-registry` rule checks every other `TMPROF_*` literal against the
+/// names registered here.
+const KNOBS_FILE: &str = "crates/core/src/knobs.rs";
+
+/// Directories never descended into, by basename.
+const SKIP_DIRS: &[&str] = &["target", ".git", "vendor"];
+
+/// Relative paths never descended into (the lint's own test fixtures are
+/// violating on purpose).
+const SKIP_REL: &[&str] = &["crates/lint/fixtures"];
+
+/// Lint the workspace rooted at `root`.
+pub fn run(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let registry = build_knob_registry(root);
+
+    let mut report = Report::default();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let lexed = lexer::lex(&src);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        report
+            .violations
+            .extend(lint_one(&rel_str, &lexed, &registry));
+        report.files_checked += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(report)
+}
+
+/// Recursively gather `.rs` files as root-relative paths, sorted walk.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            let base = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&base) || SKIP_REL.contains(&rel_str.as_str()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if rel_str.ends_with(".rs") {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Extract registered knob names from the knob table: every
+/// `name: "TMPROF_..."` field in non-test code.
+pub fn build_knob_registry(root: &Path) -> BTreeSet<String> {
+    let mut reg = BTreeSet::new();
+    let Ok(src) = fs::read_to_string(root.join(KNOBS_FILE)) else {
+        return reg;
+    };
+    let lexed = lexer::lex(&src);
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind == TokenKind::Ident
+            && toks[i].text == "name"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.kind == TokenKind::Punct(':'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokenKind::StrLit && !lexed.in_test(t.line))
+        {
+            reg.insert(toks[i + 2].text.clone());
+        }
+    }
+    reg
+}
+
+/// Run the rules on one file, then fold in the file's directives:
+/// suppress annotated findings and emit hygiene violations for bad
+/// directives.
+fn lint_one(rel: &str, lexed: &Lexed, registry: &BTreeSet<String>) -> Vec<Violation> {
+    let candidates = rules::check_file(rel, lexed, registry);
+    let mut out = Vec::new();
+
+    // Lines that carry at least one token, for resolving standalone
+    // directives to the line they govern.
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+
+    // (rule, governed line) pairs that are validly suppressed.
+    let mut suppressed: BTreeSet<(&str, u32)> = BTreeSet::new();
+
+    for d in &lexed.directives {
+        if d.rule.is_empty() {
+            out.push(Violation {
+                rule: "allow-directive",
+                file: rel.to_string(),
+                line: d.line,
+                message: "malformed directive; expected \
+                          `// tmprof-lint: allow(<rule>) — <reason>`"
+                    .to_string(),
+            });
+            continue;
+        }
+        if !rules::known_rule(&d.rule) {
+            out.push(Violation {
+                rule: "allow-directive",
+                file: rel.to_string(),
+                line: d.line,
+                message: format!("allow({}) names an unknown rule", d.rule),
+            });
+            continue;
+        }
+        if d.reason.is_empty() {
+            out.push(Violation {
+                rule: "allow-directive",
+                file: rel.to_string(),
+                line: d.line,
+                message: format!(
+                    "allow({}) has no reason; every suppression must say why the \
+                     invariant holds: `allow({}) — <reason>`",
+                    d.rule, d.rule
+                ),
+            });
+            continue;
+        }
+        let target = if d.trailing {
+            Some(d.line)
+        } else {
+            token_lines.range(d.line + 1..).next().copied()
+        };
+        if let Some(line) = target {
+            let rule = rules::RULES
+                .iter()
+                .map(|&(n, _)| n)
+                .find(|&n| n == d.rule)
+                .unwrap_or("");
+            suppressed.insert((rule, line));
+        }
+    }
+
+    out.extend(
+        candidates
+            .into_iter()
+            .filter(|v| !suppressed.contains(&(v.rule, v.line))),
+    );
+    out
+}
+
+/// Ascend from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_directive_suppresses_its_own_line() {
+        let src = "use std::collections::HashMap; \
+                   // tmprof-lint: allow(nondet-iter) — model map in a proptest oracle\n";
+        let v = lint_one("crates/sim/src/x.rs", &lex(src), &BTreeSet::new());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn standalone_directive_suppresses_the_next_code_line() {
+        let src = "// tmprof-lint: allow(nondet-iter) — drained through a sorted Vec\n\
+                   use std::collections::HashMap;\n";
+        let v = lint_one("crates/sim/src/x.rs", &lex(src), &BTreeSet::new());
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reasonless_allow_is_itself_a_violation_and_suppresses_nothing() {
+        let src = "// tmprof-lint: allow(nondet-iter)\n\
+                   use std::collections::HashMap;\n";
+        let v = lint_one("crates/sim/src/x.rs", &lex(src), &BTreeSet::new());
+        let rules: Vec<&str> = v.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"allow-directive"), "{v:?}");
+        assert!(rules.contains(&"nondet-iter"), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// tmprof-lint: allow(no-such-rule) — because\nlet x = 1;\n";
+        let v = lint_one("crates/sim/src/x.rs", &lex(src), &BTreeSet::new());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "allow-directive");
+    }
+
+    #[test]
+    fn directive_for_a_different_rule_does_not_suppress() {
+        let src = "// tmprof-lint: allow(wall-clock) — not what this line violates\n\
+                   use std::collections::HashSet;\n";
+        let v = lint_one("crates/sim/src/x.rs", &lex(src), &BTreeSet::new());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "nondet-iter");
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let report = Report {
+            violations: vec![Violation {
+                rule: "knob-registry",
+                file: "a.rs".into(),
+                line: 3,
+                message: "\"TMPROF_X\" is not registered".into(),
+            }],
+            files_checked: 1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\\\"TMPROF_X\\\""), "{json}");
+        assert!(json.contains("\"count\":1"));
+    }
+}

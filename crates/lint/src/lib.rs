@@ -1,0 +1,39 @@
+//! `tmprof-lint` — a tidy-style determinism and hot-path linter for the
+//! tmprof workspace.
+//!
+//! The simulator's headline claim is bit-for-bit reproducibility: the
+//! same binary, seed, and knobs must produce byte-identical CSVs. Most
+//! regressions against that claim are *syntactically visible* — a std
+//! `HashMap` whose iteration order leaks into output, a wall-clock read,
+//! ambient RNG, a float creeping into the hotness ranking — so this crate
+//! catches them with a hand-rolled lexer and a small set of named rules
+//! rather than waiting for a flaky diff in CI.
+//!
+//! Rules (see [`rules::RULES`]):
+//!
+//! * `nondet-iter` — no std `HashMap`/`HashSet` in the deterministic
+//!   crates (sim, profilers, policy, core, workloads); use
+//!   `sim::keymap::{KeyMap, KeySet, PageSet}` or `BTreeMap`.
+//! * `wall-clock` — no `Instant`/`SystemTime` outside `crates/bench`.
+//! * `ambient-rng` — all randomness flows through `sim::rng` with an
+//!   explicit seed; no `thread_rng`/`RandomState`/`from_entropy`.
+//! * `panic-hot-path` — no bare `unwrap`/`expect`/`panic!` in the sim
+//!   hot path (`machine.rs`, `batch.rs`, `tlb.rs`, `pagetable.rs`)
+//!   without an invariant annotation.
+//! * `float-rank` — hotness ranking and stats stay integer sums.
+//! * `knob-registry` — every `TMPROF_*` name appears in the central knob
+//!   table (`crates/core/src/knobs.rs`).
+//!
+//! A finding is suppressed only by an explicit, reasoned annotation on
+//! (or directly above) the offending line:
+//!
+//! ```text
+//! // tmprof-lint: allow(panic-hot-path) — walk_to descends interior nodes only
+//! ```
+//!
+//! The reason is mandatory; a reasonless or misspelled directive is
+//! itself reported (rule `allow-directive`) and suppresses nothing.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;

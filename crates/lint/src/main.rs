@@ -1,0 +1,109 @@
+//! CLI for `tmprof-lint`. See the library docs for the rule set.
+//!
+//! Usage: `tmprof-lint [--root <dir>] [--json]`
+//!
+//! Exit status: 0 when the tree is clean, 1 when violations were found,
+//! 2 on usage or I/O errors — so `cargo run -p tmprof-lint` gates CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tmprof_lint::{engine, rules};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("tmprof-lint: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("tmprof-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("tmprof-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match engine::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "tmprof-lint: no workspace Cargo.toml above {}; pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match engine::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tmprof-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else if report.is_clean() {
+        println!(
+            "tmprof-lint: clean ({} files checked)",
+            report.files_checked
+        );
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!(
+            "tmprof-lint: {} violation(s) in {} files checked",
+            report.violations.len(),
+            report.files_checked
+        );
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!("tmprof-lint: determinism & hot-path linter for the tmprof workspace");
+    println!();
+    println!("usage: tmprof-lint [--root <dir>] [--json]");
+    println!();
+    println!("  --root <dir>  workspace root (default: ascend to [workspace] Cargo.toml)");
+    println!("  --json        machine-readable output");
+    println!();
+    println!("rules:");
+    for (name, desc) in rules::RULES {
+        println!("  {name:<16} {desc}");
+    }
+    println!();
+    println!("suppress a finding (reason mandatory):");
+    println!("  // tmprof-lint: allow(<rule>) — <reason>");
+}

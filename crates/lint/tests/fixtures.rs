@@ -1,0 +1,130 @@
+//! Golden-fixture tests: each rule must fire on its violating fixture,
+//! stay silent on the clean twin, and the real workspace must be clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use tmprof_lint::engine;
+use tmprof_lint::rules::Violation;
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(which)
+}
+
+fn lint(root: &Path) -> Vec<Violation> {
+    engine::run(root).expect("fixture tree lints").violations
+}
+
+fn rules_hit(violations: &[Violation]) -> BTreeSet<&str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn violating_tree_trips_every_rule() {
+    let violations = lint(&fixture_root("violating"));
+    let hit = rules_hit(&violations);
+    for rule in [
+        "nondet-iter",
+        "wall-clock",
+        "ambient-rng",
+        "panic-hot-path",
+        "float-rank",
+        "knob-registry",
+        "allow-directive",
+    ] {
+        assert!(
+            hit.contains(rule),
+            "rule {rule} did not fire: {violations:#?}"
+        );
+    }
+}
+
+#[test]
+fn violating_tree_attributes_findings_to_the_right_files() {
+    let violations = lint(&fixture_root("violating"));
+    let pairs: BTreeSet<(&str, &str)> = violations
+        .iter()
+        .map(|v| (v.file.as_str(), v.rule))
+        .collect();
+    for expected in [
+        ("crates/sim/src/nondet.rs", "nondet-iter"),
+        ("crates/core/src/clock.rs", "wall-clock"),
+        ("crates/policy/src/rng.rs", "ambient-rng"),
+        ("crates/sim/src/machine.rs", "panic-hot-path"),
+        ("crates/core/src/rank.rs", "float-rank"),
+        ("crates/bench/src/scale.rs", "knob-registry"),
+        ("crates/sim/src/badallow.rs", "allow-directive"),
+    ] {
+        assert!(
+            pairs.contains(&expected),
+            "missing {expected:?}: {violations:#?}"
+        );
+    }
+}
+
+#[test]
+fn reasonless_allow_does_not_suppress_the_underlying_finding() {
+    let violations = lint(&fixture_root("violating"));
+    // Line 3 carries the reasonless allow, line 4 the HashMap it failed
+    // to suppress; the *reasoned* directive later in the file works.
+    assert!(violations
+        .iter()
+        .any(|v| v.file == "crates/sim/src/badallow.rs"
+            && v.rule == "allow-directive"
+            && v.line == 3));
+    assert!(violations
+        .iter()
+        .any(|v| v.file == "crates/sim/src/badallow.rs" && v.rule == "nondet-iter" && v.line == 4));
+    assert!(!violations
+        .iter()
+        .any(|v| v.file == "crates/sim/src/badallow.rs" && v.line == 8));
+}
+
+#[test]
+fn test_code_unwrap_is_exempt_from_the_hot_path_rule() {
+    let violations = lint(&fixture_root("violating"));
+    // machine.rs has an unwrap inside #[cfg(test)]; only the non-test
+    // unwrap (line 4) and panic (line 6) may fire.
+    let machine: Vec<u32> = violations
+        .iter()
+        .filter(|v| v.file == "crates/sim/src/machine.rs")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(machine, vec![4, 6], "{violations:#?}");
+}
+
+#[test]
+fn bench_wall_clock_is_exempt_even_in_the_violating_tree() {
+    let violations = lint(&fixture_root("violating"));
+    assert!(!violations
+        .iter()
+        .any(|v| v.file == "crates/bench/src/scale.rs" && v.rule == "wall-clock"));
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let violations = lint(&fixture_root("clean"));
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+#[test]
+fn knob_registry_is_read_from_the_fixture_knob_table() {
+    let reg = engine::build_knob_registry(&fixture_root("violating"));
+    assert!(reg.contains("TMPROF_SCALE"));
+    assert!(!reg.contains("TMPROF_UNDOCUMENTED"));
+}
+
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = engine::run(&root).expect("workspace lints");
+    assert!(
+        report.violations.is_empty(),
+        "the workspace must stay lint-clean: {:#?}",
+        report.violations
+    );
+    // Sanity: the walk actually covered the tree, not an empty dir.
+    assert!(report.files_checked > 50, "{}", report.files_checked);
+}

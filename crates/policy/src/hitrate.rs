@@ -16,10 +16,8 @@
 //! Hitrate for an epoch = true memory accesses to tier-1-resident pages /
 //! all true memory accesses; the run-level number is access-weighted.
 
-use std::collections::HashSet;
-
 use tmprof_core::rank::{EpochProfile, RankSource};
-use tmprof_sim::keymap::KeyMap;
+use tmprof_sim::keymap::{KeyMap, KeySet};
 
 /// One recorded epoch: what the profilers saw + what really happened.
 #[derive(Clone, Debug, Default)]
@@ -41,7 +39,7 @@ pub struct ReplayLog {
 impl ReplayLog {
     /// Total distinct pages that ever saw a memory access.
     pub fn footprint_pages(&self) -> usize {
-        let mut set = HashSet::new();
+        let mut set = KeySet::default();
         for e in &self.epochs {
             set.extend(e.truth_mem.keys().copied());
         }
@@ -77,7 +75,7 @@ impl ReplayPolicy {
 }
 
 /// Select the top-`capacity` pages from `profile` under `source`.
-fn top_pages(profile: &EpochProfile, source: RankSource, capacity: usize) -> HashSet<u64> {
+fn top_pages(profile: &EpochProfile, source: RankSource, capacity: usize) -> KeySet<u64> {
     profile
         .ranked(source)
         .into_iter()
@@ -100,14 +98,14 @@ pub fn replay_hitrate(
     let mut hits: u64 = 0;
     let mut total: u64 = 0;
     // First-touch residency is static: first `capacity` pages ever touched.
-    let first_touch_set: HashSet<u64> = log
+    let first_touch_set: KeySet<u64> = log
         .first_touch_order
         .iter()
         .take(capacity)
         .copied()
         .collect();
     for (i, epoch) in log.epochs.iter().enumerate() {
-        let resident: HashSet<u64> = match policy {
+        let resident: KeySet<u64> = match policy {
             ReplayPolicy::Oracle => top_pages(&epoch.profile, source, capacity),
             ReplayPolicy::History => {
                 if i == 0 {

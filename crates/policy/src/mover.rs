@@ -7,9 +7,10 @@
 //! with *one batched shootdown per process per epoch*, the cost structure
 //! the paper's epoch-based policies are designed around.
 
-use std::collections::HashSet;
+use std::collections::BTreeMap;
 
 use tmprof_sim::addr::Vpn;
+use tmprof_sim::keymap::KeySet;
 use tmprof_sim::machine::{Machine, MigrateError};
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::tier::Tier;
@@ -78,7 +79,7 @@ impl PageMover {
     /// working-set *change*, not its size.
     pub fn apply(&mut self, machine: &mut Machine, placement: &Placement) -> MoveReport {
         let mut report = MoveReport::default();
-        let nominated: HashSet<u64> = placement.tier1_pages.iter().copied().collect();
+        let nominated: KeySet<u64> = placement.tier1_pages.iter().copied().collect();
 
         // Current tier-1 residents, coldest-first for demotion order.
         let mut residents: Vec<(u64, u64)> = machine
@@ -90,15 +91,17 @@ impl PageMover {
         // Sorted hottest-first so that `pop()` on the demotion queue always
         // yields the coldest remaining resident.
         residents.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
-        let resident_set: HashSet<u64> = residents.iter().map(|&(k, _)| k).collect();
+        let resident_set: KeySet<u64> = residents.iter().map(|&(k, _)| k).collect();
         let mut demotion_queue: Vec<u64> = residents
             .iter()
             .map(|&(k, _)| k)
             .filter(|k| !nominated.contains(k))
             .collect();
 
-        // Pages to move in, hottest first (placement order).
-        let mut shootdowns: std::collections::HashMap<Pid, Vec<Vpn>> = Default::default();
+        // Pages to move in, hottest first (placement order). The shootdown
+        // batches are keyed in a BTreeMap so the per-process flushes fire in
+        // ascending PID order, run after run.
+        let mut shootdowns: BTreeMap<Pid, Vec<Vpn>> = BTreeMap::new();
         for &key in &placement.tier1_pages {
             if resident_set.contains(&key) {
                 report.already_placed += 1;

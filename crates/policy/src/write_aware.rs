@@ -13,9 +13,8 @@
 //! to logical pages). With `write_weight = 0` this degenerates to plain
 //! History.
 
-use std::collections::HashMap;
-
 use tmprof_core::rank::{EpochProfile, RankSource};
+use tmprof_sim::keymap::KeyMap;
 
 use crate::policies::{Placement, PlacementPolicy};
 
@@ -24,7 +23,7 @@ pub struct WriteAwarePolicy {
     read_source: RankSource,
     write_weight: u64,
     /// Write (dirty) events per packed page key for the closed epoch.
-    write_counts: HashMap<u64, u64>,
+    write_counts: KeyMap<u64, u64>,
 }
 
 impl WriteAwarePolicy {
@@ -34,13 +33,13 @@ impl WriteAwarePolicy {
         Self {
             read_source,
             write_weight,
-            write_counts: HashMap::new(),
+            write_counts: KeyMap::default(),
         }
     }
 
     /// Install the epoch's write counts (from the PML driver) before
     /// calling [`PlacementPolicy::select`].
-    pub fn set_write_counts(&mut self, counts: HashMap<u64, u64>) {
+    pub fn set_write_counts(&mut self, counts: KeyMap<u64, u64>) {
         self.write_counts = counts;
     }
 
@@ -109,7 +108,7 @@ mod tests {
     fn zero_weight_degenerates_to_read_ranking() {
         let p = profile(&[(1, 10), (2, 5)]);
         let mut policy = WriteAwarePolicy::new(RankSource::Trace, 0);
-        policy.set_write_counts(HashMap::from([(key(2), 1000)]));
+        policy.set_write_counts([(key(2), 1000)].into_iter().collect());
         let sel = policy.select(&p, 1);
         assert_eq!(sel.tier1_pages, vec![key(1)], "writes ignored at weight 0");
     }
@@ -118,7 +117,7 @@ mod tests {
     fn write_heavy_page_wins_with_weight() {
         let p = profile(&[(1, 10), (2, 5)]);
         let mut policy = WriteAwarePolicy::new(RankSource::Trace, 10);
-        policy.set_write_counts(HashMap::from([(key(2), 3)]));
+        policy.set_write_counts([(key(2), 3)].into_iter().collect());
         // score(1) = 10; score(2) = 5 + 30 = 35.
         let sel = policy.select(&p, 1);
         assert_eq!(sel.tier1_pages, vec![key(2)]);
@@ -130,7 +129,7 @@ mod tests {
         // still be nominated (its writes are what NVM should not absorb).
         let p = profile(&[(1, 1)]);
         let mut policy = WriteAwarePolicy::new(RankSource::Trace, 5);
-        policy.set_write_counts(HashMap::from([(key(9), 4)]));
+        policy.set_write_counts([(key(9), 4)].into_iter().collect());
         let sel = policy.select(&p, 2);
         assert!(sel.tier1_pages.contains(&key(9)));
         assert!(sel.tier1_pages.contains(&key(1)));
@@ -150,8 +149,8 @@ mod tests {
     fn stale_write_counts_are_replaced() {
         let p = profile(&[(1, 1)]);
         let mut policy = WriteAwarePolicy::new(RankSource::Trace, 100);
-        policy.set_write_counts(HashMap::from([(key(7), 9)]));
-        policy.set_write_counts(HashMap::new()); // fresh epoch, no writes
+        policy.set_write_counts([(key(7), 9)].into_iter().collect());
+        policy.set_write_counts(KeyMap::default()); // fresh epoch, no writes
         let sel = policy.select(&p, 5);
         assert_eq!(sel.tier1_pages, vec![key(1)]);
     }

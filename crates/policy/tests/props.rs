@@ -90,7 +90,7 @@ proptest! {
         let placement = policy.select(&profile, capacity);
         prop_assert!(placement.tier1_pages.len() <= capacity);
         // No duplicates.
-        let set: std::collections::HashSet<u64> =
+        let set: tmprof_sim::keymap::KeySet<u64> =
             placement.tier1_pages.iter().copied().collect();
         prop_assert_eq!(set.len(), placement.tier1_pages.len());
         // Hottest-first ordering.

@@ -19,7 +19,7 @@
 //!   A-bit page counts plateau for the giant-footprint HPC workloads.
 
 use tmprof_sim::addr::Vpn;
-use tmprof_sim::keymap::PageSet;
+use tmprof_sim::keymap::{KeyMap, PageSet};
 use tmprof_sim::machine::Machine;
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::tlb::Pid;
@@ -122,7 +122,7 @@ pub struct AbitHeatPoint {
 pub struct ABitScanner {
     cfg: ABitConfig,
     /// Resume cursor per PID for budgeted scans.
-    cursors: std::collections::HashMap<Pid, Vpn>,
+    cursors: KeyMap<Pid, Vpn>,
     /// Raw (possibly duplicated) packed keys observed this epoch; sorted
     /// and deduplicated only when the epoch closes.
     epoch_pages: Vec<u64>,
@@ -139,7 +139,7 @@ impl ABitScanner {
     pub fn new(cfg: ABitConfig) -> Self {
         Self {
             cfg,
-            cursors: std::collections::HashMap::new(),
+            cursors: KeyMap::default(),
             epoch_pages: Vec::new(),
             seen_pages: PageSet::new(),
             heat: Vec::new(),

@@ -15,12 +15,12 @@
 //! is the cost per observation — a full protection fault (~µs) instead of
 //! a PTE walk amortized over a scan.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use tmprof_sim::addr::Vpn;
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::{FaultAction, FaultPolicy, Machine, PoisonFault};
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::pte::bits;
@@ -45,7 +45,7 @@ impl Default for AutoNumaConfig {
 #[derive(Default)]
 struct NumaState {
     /// Observed accesses (faults) per packed page key.
-    hits: HashMap<u64, u64>,
+    hits: KeyMap<u64, u64>,
     total_faults: u64,
 }
 
@@ -76,7 +76,7 @@ pub struct AutoNumaScanner {
     cfg: AutoNumaConfig,
     state: Arc<Mutex<NumaState>>,
     /// Per-process scan cursor (Linux scans the address space in windows).
-    cursors: HashMap<Pid, Vpn>,
+    cursors: KeyMap<Pid, Vpn>,
     /// Pages protected across all passes.
     pub_protected: u64,
     passes: u64,
@@ -91,7 +91,7 @@ impl AutoNumaScanner {
             Self {
                 cfg,
                 state: state.clone(),
-                cursors: HashMap::new(),
+                cursors: KeyMap::default(),
                 pub_protected: 0,
                 passes: 0,
             },
@@ -134,7 +134,7 @@ impl AutoNumaScanner {
     }
 
     /// All per-page observations (packed key → faults).
-    pub fn hit_counts(&self) -> HashMap<u64, u64> {
+    pub fn hit_counts(&self) -> KeyMap<u64, u64> {
         self.state.lock().hits.clone()
     }
 

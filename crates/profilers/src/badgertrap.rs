@@ -15,12 +15,13 @@
 //! pages whose translations stay cached — is visible directly in this
 //! model and is exercised in the tests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use tmprof_sim::addr::Vpn;
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::{FaultAction, FaultPolicy, Machine, PoisonFault};
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::pte::bits;
@@ -31,7 +32,7 @@ use tmprof_sim::tlb::Pid;
 #[derive(Default)]
 struct BtState {
     /// Faults (≈ TLB misses) per poisoned page.
-    faults: HashMap<u64, u64>,
+    faults: KeyMap<u64, u64>,
     /// Total faults intercepted.
     total_faults: u64,
 }
@@ -63,8 +64,9 @@ impl FaultPolicy for BadgerTrapHandler {
 /// The profiler-facing half: selects pages, reads fault counts.
 pub struct BadgerTrap {
     state: Arc<Mutex<BtState>>,
-    /// Pages currently instrumented, per process.
-    poisoned: HashMap<Pid, Vec<Vpn>>,
+    /// Pages currently instrumented, per process. Ordered so that
+    /// [`BadgerTrap::unpoison_all`] visits processes deterministically.
+    poisoned: BTreeMap<Pid, Vec<Vpn>>,
 }
 
 impl BadgerTrap {
@@ -75,7 +77,7 @@ impl BadgerTrap {
         (
             Self {
                 state: state.clone(),
-                poisoned: HashMap::new(),
+                poisoned: BTreeMap::new(),
             },
             Box::new(BadgerTrapHandler { state }),
         )
@@ -125,7 +127,7 @@ impl BadgerTrap {
     }
 
     /// All per-page fault counts (packed [`PageKey`] → count).
-    pub fn fault_counts(&self) -> HashMap<u64, u64> {
+    pub fn fault_counts(&self) -> KeyMap<u64, u64> {
         self.state.lock().faults.clone()
     }
 

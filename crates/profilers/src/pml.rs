@@ -9,9 +9,8 @@
 //! in DRAM to spare NVM write endurance" variants [32] — have a realistic
 //! dirty-page source to build on.
 
-use std::collections::HashMap;
-
 use tmprof_sim::addr::Pfn;
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::Machine;
 
 /// Running totals for the tracker.
@@ -35,7 +34,7 @@ const PER_ENTRY_COST: u64 = 40;
 /// The software half: enables per-core PML and aggregates dirty counts.
 pub struct PmlTracker {
     /// Write counts per frame (packed across drains).
-    dirty_counts: HashMap<u64, u64>,
+    dirty_counts: KeyMap<u64, u64>,
     stats: PmlStats,
     enabled: bool,
 }
@@ -47,7 +46,7 @@ impl PmlTracker {
             machine.pml_engine_mut(core).set_enabled(true);
         }
         Self {
-            dirty_counts: HashMap::new(),
+            dirty_counts: KeyMap::default(),
             stats: PmlStats::default(),
             enabled: true,
         }

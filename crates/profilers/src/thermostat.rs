@@ -11,6 +11,7 @@
 //! *zero* BadgerTrap faults and is misclassified as cold.
 
 use tmprof_sim::addr::Vpn;
+use tmprof_sim::keymap::KeyMap;
 use tmprof_sim::machine::{FaultPolicy, Machine};
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::rng::Rng;
@@ -56,7 +57,7 @@ pub struct Thermostat {
     /// Pages sampled in the current epoch.
     current_sample: Vec<(Pid, Vpn)>,
     /// (packed key, verdict) across epochs.
-    verdicts: std::collections::HashMap<u64, Verdict>,
+    verdicts: KeyMap<u64, Verdict>,
     epochs: u32,
 }
 
@@ -70,7 +71,7 @@ impl Thermostat {
                 trap,
                 rng: Rng::new(cfg.seed),
                 current_sample: Vec::new(),
-                verdicts: std::collections::HashMap::new(),
+                verdicts: KeyMap::default(),
                 epochs: 0,
             },
             handler,

@@ -407,6 +407,7 @@ impl Machine {
     /// Position of `pid` in the dense process table.
     #[inline]
     pub(crate) fn proc_idx(&self, pid: Pid) -> usize {
+        // tmprof-lint: allow(panic-hot-path) — callers pass PIDs they registered via add_process; an unknown PID is a harness bug, not a runtime condition
         *self.pid_index.get(&pid).expect("unknown pid")
     }
 
@@ -730,6 +731,7 @@ impl Machine {
                     core.counts.l1d_misses += 1;
                     lat.l2_hit
                 }
+                // tmprof-lint: allow(panic-hot-path) — CacheHierarchy::probe only reports L1/L2 hits by construction; LLC and memory are probed on the shared path below
                 _ => unreachable!("private probe beyond L2"),
             };
         } else {
@@ -930,17 +932,28 @@ impl Machine {
                     if let Some(base_pfn) = self.frames.alloc_huge_first_touch() {
                         let mut pte = Pte::new(base_pfn, true);
                         pte.set(bits::PS);
-                        proc.page_table.map_huge(base, pte);
-                        // Descriptor/identity live at huge granularity.
-                        self.descs.set_owner(base_pfn, PageKey { pid, vpn: base });
-                        self.first_touch_log.push(PageKey { pid, vpn: base }.pack());
-                        mapped_huge = true;
+                        match proc.page_table.map_huge(base, pte) {
+                            Ok(()) => {
+                                // Descriptor/identity live at huge granularity.
+                                self.descs.set_owner(base_pfn, PageKey { pid, vpn: base });
+                                self.first_touch_log.push(PageKey { pid, vpn: base }.pack());
+                                mapped_huge = true;
+                            }
+                            Err(crate::pagetable::MapError::HugeConflict { .. }) => {
+                                // 4 KiB mappings landed in the range before
+                                // THP was enabled for this process: return
+                                // the run and take the base-page path, like
+                                // a failed THP collapse.
+                                self.frames.free_huge(&self.cfg.memory, base_pfn);
+                            }
+                        }
                     }
                 }
                 if !mapped_huge {
                     let pfn = self
                         .frames
                         .alloc_first_touch()
+                        // tmprof-lint: allow(panic-hot-path) — physical exhaustion means the experiment's footprint exceeds the configured machine; no policy can make progress, so dying loudly beats silently dropping accesses
                         .expect("physical memory exhausted");
                     proc.page_table.map(vpn, Pte::new(pfn, true));
                     self.descs.set_owner(pfn, PageKey { pid, vpn });
@@ -966,6 +979,7 @@ impl Machine {
                     .fault_policy
                     .as_mut()
                     .unwrap_or_else(|| {
+                        // tmprof-lint: allow(panic-hot-path) — a poisoned/PROT_NONE PTE can only exist because a profiler installed it, and profilers install their fault handler first; faulting with no handler means the instrumentation protocol was violated
                         panic!("protection fault on {vpn:?} with no fault policy installed")
                     })
                     .handle(&fault);
@@ -976,7 +990,11 @@ impl Machine {
                 out.cycles += lat.protection_fault + action.extra_cycles;
                 out.protection_fault = true;
                 let proc = &mut self.processes[proc_idx];
-                let pte = proc.page_table.entry_mut(vpn).expect("present entry");
+                let pte = proc
+                    .page_table
+                    .entry_mut(vpn)
+                    // tmprof-lint: allow(panic-hot-path) — this arm is only reached after the walk found a present (poisoned) PTE this iteration, and nothing unmaps between; absence would mean the walk lied
+                    .expect("present entry");
                 if action.unpoison {
                     pte.clear(bits::POISON);
                 }
@@ -985,11 +1003,13 @@ impl Machine {
                 }
                 repoison_after_fill = action.repoison;
                 if pte.poisoned() || pte.prot_none() {
+                    // tmprof-lint: allow(panic-hot-path) — a handler that neither unpoisons nor unprotects would spin this loop forever; failing fast surfaces the broken FaultPolicy implementation
                     panic!("fault policy did not resolve fault on {vpn:?}");
                 }
                 continue;
             }
         }
+        // tmprof-lint: allow(panic-hot-path) — each loop iteration either returns, maps the page, or clears the faulting bits; the iteration bound only trips if one of those steps stops making progress, which is a simulator bug
         panic!("translation for {vpn:?} did not converge");
     }
 

@@ -71,6 +71,33 @@ pub struct WalkFootprint {
     pub interior_nodes: u64,
 }
 
+/// Why a mapping could not be installed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// 4 KiB mappings already occupy part of the requested 2 MiB range.
+    /// Recoverable: the caller falls back to base-page mapping, exactly
+    /// what the kernel's THP allocator does on a failed collapse.
+    HugeConflict {
+        /// The (aligned) base of the rejected huge range.
+        base: Vpn,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::HugeConflict { base } => {
+                write!(
+                    f,
+                    "4 KiB mappings already occupy the huge range at {base:?}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// A per-process 4-level radix page table.
 pub struct PageTable {
     root: Interior,
@@ -93,8 +120,10 @@ impl PageTable {
 
     /// Install a 2 MiB huge mapping: `base` must be 512-page aligned and
     /// `pte` must have the PS bit set and point at a 512-aligned run of
-    /// frames. Panics if 4 KiB mappings already exist in the range.
-    pub fn map_huge(&mut self, base: Vpn, pte: Pte) {
+    /// frames. Fails with [`MapError::HugeConflict`] when 4 KiB mappings
+    /// already exist in the range; the caller is expected to fall back to
+    /// base-page mapping.
+    pub fn map_huge(&mut self, base: Vpn, pte: Pte) -> Result<(), MapError> {
         assert!(base.0 % HUGE_SPAN == 0, "huge base {base:?} not aligned");
         assert!(pte.present() && pte.huge(), "huge PTE must be present+PS");
         let mut node = &mut self.root;
@@ -105,8 +134,9 @@ impl PageTable {
                 *slot = Some(Node::Interior(Box::new(Interior::new())));
                 node.live += 1;
             }
-            node = match slot.as_mut().unwrap() {
-                Node::Interior(next) => next,
+            node = match slot {
+                Some(Node::Interior(next)) => next,
+                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
                 _ => unreachable!("leaf at interior level"),
             };
         }
@@ -117,11 +147,13 @@ impl PageTable {
                 *slot = Some(Node::Huge(pte));
                 node.live += 1;
                 self.mapped_pages += HUGE_SPAN;
+                Ok(())
             }
             Some(Node::Huge(old)) => {
                 *old = pte;
+                Ok(())
             }
-            Some(_) => panic!("4 KiB mappings already occupy the huge range at {base:?}"),
+            Some(_) => Err(MapError::HugeConflict { base }),
         }
     }
 
@@ -238,8 +270,9 @@ impl PageTable {
                 *slot = Some(Node::Interior(Box::new(Interior::new())));
                 node.live += 1;
             }
-            node = match slot.as_mut().unwrap() {
-                Node::Interior(next) => next,
+            node = match slot {
+                Some(Node::Interior(next)) => next,
+                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
                 _ => unreachable!("leaf at interior level"),
             };
         }
@@ -249,10 +282,12 @@ impl PageTable {
             *slot = Some(Node::Leaf(Box::new(LeafTable::new())));
             node.live += 1;
         }
-        match slot.as_mut().unwrap() {
-            Node::Leaf(leaf) => leaf,
-            Node::Huge(_) => panic!("range already covered by a huge mapping"),
-            Node::Interior(_) => unreachable!("interior at leaf level"),
+        match slot {
+            Some(Node::Leaf(leaf)) => leaf,
+            // tmprof-lint: allow(panic-hot-path) — mapping a 4 KiB page under a live huge mapping is a machine-level invariant breach: the walker would have hit the huge PTE instead of faulting, so no caller can reach this with a huge entry installed
+            Some(Node::Huge(_)) => panic!("range already covered by a huge mapping"),
+            // tmprof-lint: allow(panic-hot-path) — level-1 slots only ever hold Leaf or Huge nodes; an Interior here would mean the radix tree itself is corrupt
+            _ => unreachable!("interior at leaf level"),
         }
     }
 
@@ -598,7 +633,7 @@ mod tests {
         let mut pt = PageTable::new();
         let mut pte = Pte::new(Pfn(8192), true);
         pte.set(crate::pte::bits::PS);
-        pt.map_huge(Vpn(1024), pte);
+        pt.map_huge(Vpn(1024), pte).unwrap();
         assert_eq!(pt.mapped_pages(), HUGE_SPAN);
         // Every covered page resolves to its offset frame.
         assert_eq!(pt.resolve(Vpn(1024)), Some(Pfn(8192)));
@@ -617,7 +652,7 @@ mod tests {
         let mut pt = PageTable::new();
         let mut pte = Pte::new(Pfn(0), true);
         pte.set(crate::pte::bits::PS);
-        pt.map_huge(Vpn(0), pte);
+        pt.map_huge(Vpn(0), pte).unwrap();
         pt.entry_mut(Vpn(77)).unwrap().set(crate::pte::bits::A);
         assert!(pt.get(Vpn(400)).accessed(), "A bit is span-wide");
     }
@@ -627,7 +662,7 @@ mod tests {
         let mut pt = PageTable::new();
         let mut pte = Pte::new(Pfn(0), true);
         pte.set(crate::pte::bits::PS);
-        pt.map_huge(Vpn(512), pte);
+        pt.map_huge(Vpn(512), pte).unwrap();
         pt.map(Vpn(5), Pte::new(Pfn(5), true));
         let mut seen = Vec::new();
         let fp = pt.walk_present(|vpn, p| seen.push((vpn, p.huge())));
@@ -641,7 +676,7 @@ mod tests {
         for r in 0..4u64 {
             let mut pte = Pte::new(Pfn(r * 512), true);
             pte.set(crate::pte::bits::PS);
-            pt.map_huge(Vpn(r * 512), pte);
+            pt.map_huge(Vpn(r * 512), pte).unwrap();
         }
         let mut seen = 0;
         let (fp, resume) = pt.walk_present_bounded(Vpn(0), 2, |_, _| seen += 1);
@@ -656,7 +691,26 @@ mod tests {
         let mut pt = PageTable::new();
         let mut pte = Pte::new(Pfn(0), true);
         pte.set(crate::pte::bits::PS);
-        pt.map_huge(Vpn(3), pte);
+        let _ = pt.map_huge(Vpn(3), pte);
+    }
+
+    #[test]
+    fn huge_over_base_pages_is_a_typed_conflict() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(512 + 7), Pte::new(Pfn(1), true));
+        let mut pte = Pte::new(Pfn(0), true);
+        pte.set(crate::pte::bits::PS);
+        assert_eq!(
+            pt.map_huge(Vpn(512), pte),
+            Err(MapError::HugeConflict { base: Vpn(512) })
+        );
+        // The conflict is recoverable: the table is untouched and the 4 KiB
+        // mapping still resolves.
+        assert_eq!(pt.mapped_pages(), 1);
+        assert_eq!(pt.resolve(Vpn(512 + 7)), Some(Pfn(1)));
+        // A disjoint range still accepts the huge mapping afterwards.
+        pt.map_huge(Vpn(1024), pte).unwrap();
+        assert_eq!(pt.mapped_pages(), 1 + HUGE_SPAN);
     }
 
     #[test]

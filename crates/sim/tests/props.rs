@@ -3,9 +3,9 @@
 //! Each structure is checked against a trivially-correct reference model
 //! under arbitrary operation sequences.
 
-use std::collections::HashMap;
-
 use proptest::prelude::*;
+
+use tmprof_sim::keymap::{KeyMap, KeySet};
 
 use tmprof_sim::addr::{phys_addr, Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SIZE};
 use tmprof_sim::cache::Cache;
@@ -63,7 +63,7 @@ proptest! {
     }
 }
 
-// ---------- page table vs HashMap model ----------
+// ---------- page table vs KeyMap model ----------
 
 #[derive(Debug, Clone)]
 enum PtOp {
@@ -89,7 +89,7 @@ proptest! {
     #[test]
     fn pagetable_matches_hashmap_model(ops in pt_ops()) {
         let mut pt = PageTable::new();
-        let mut model: HashMap<u64, (u64, bool)> = HashMap::new();
+        let mut model: KeyMap<u64, (u64, bool)> = KeyMap::default();
         for op in ops {
             match op {
                 PtOp::Map(v, f) => {
@@ -162,7 +162,7 @@ proptest! {
     ) {
         let sets = 1usize << sets_pow;
         let mut level = TlbLevel::new(sets, ways);
-        let mut inserted: HashMap<(u32, u64), u64> = HashMap::new();
+        let mut inserted: KeyMap<(u32, u64), u64> = KeyMap::default();
         for (pid, vpn) in accesses {
             if let Some(e) = level.lookup(pid, Vpn(vpn)) {
                 // Any hit must agree with what we inserted.
@@ -213,7 +213,7 @@ proptest! {
         lines in prop::collection::vec(0u64..512, 1..500),
     ) {
         let mut cache = Cache::new("t", 64 * 64, 4); // 64 lines, 16 sets x 4
-        let mut filled: std::collections::HashSet<u64> = Default::default();
+        let mut filled: KeySet<u64> = Default::default();
         for line in lines {
             if cache.probe(line, false) {
                 // A hit is only possible for a line that was filled before.

@@ -163,7 +163,7 @@ fn huge_backed_pages_still_feed_trace_samples_per_page() {
         );
     }
     let (samples, _) = m.trace_engine_mut(0).drain();
-    let distinct_frames: std::collections::HashSet<u64> =
+    let distinct_frames: tmprof_sim::keymap::KeySet<u64> =
         samples.iter().map(|s| s.paddr.pfn().0).collect();
     assert!(
         distinct_frames.len() > 100,

@@ -127,13 +127,13 @@ crate::common::impl_mixed_stream!(DataAnalytics);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::KeySet;
 
     #[test]
     fn map_phase_scans_whole_corpus() {
         let mut da = DataAnalytics::new(512, 0, Rng::new(1));
         let corpus = da.corpus().vpn_range();
-        let mut pages = HashSet::new();
+        let mut pages = KeySet::default();
         while da.passes() == 0 {
             if let WorkOp::Mem { va, .. } = da.next_op() {
                 if corpus.contains(&va.vpn().0) {

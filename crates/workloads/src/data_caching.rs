@@ -118,11 +118,11 @@ crate::common::impl_mixed_stream!(DataCaching);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use tmprof_sim::keymap::KeyMap;
 
-    fn slab_page_hits(gen: &mut DataCaching, n: usize) -> HashMap<Vpn, u64> {
+    fn slab_page_hits(gen: &mut DataCaching, n: usize) -> KeyMap<Vpn, u64> {
         let range = gen.slabs().vpn_range();
-        let mut hits = HashMap::new();
+        let mut hits = KeyMap::default();
         let mut seen = 0;
         while seen < n {
             if let WorkOp::Mem { va, .. } = gen.next_op() {

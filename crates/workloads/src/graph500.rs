@@ -140,7 +140,7 @@ crate::common::impl_mixed_stream!(Graph500);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::KeySet;
 
     #[test]
     fn touches_all_three_regions() {
@@ -163,7 +163,7 @@ mod tests {
     #[test]
     fn levels_advance_and_wrap() {
         let mut g = Graph500::new(128, 0, Rng::new(2));
-        let mut seen = HashSet::new();
+        let mut seen = KeySet::default();
         for _ in 0..5_000_000 {
             let _ = g.next_op();
             seen.insert(g.level());

@@ -109,13 +109,13 @@ crate::common::impl_mixed_stream!(GraphAnalytics);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use tmprof_sim::keymap::KeyMap;
 
     #[test]
     fn hubs_dominate_gather_traffic() {
         let mut ga = GraphAnalytics::new(4096, 0, Rng::new(1));
         let src = ga.ranks_src().vpn_range();
-        let mut hits: HashMap<u64, u64> = HashMap::new();
+        let mut hits: KeyMap<u64, u64> = KeyMap::default();
         for _ in 0..60_000 {
             if let WorkOp::Mem {
                 va, store: false, ..

@@ -57,7 +57,7 @@ crate::common::impl_mixed_stream!(Gups);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::KeySet;
 
     fn mem_vas(gen: &mut Gups, n: usize) -> Vec<(VirtAddr, bool)> {
         let mut out = Vec::new();
@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn footprint_is_uniform_not_concentrated() {
         let mut g = Gups::new(512, 0, Rng::new(3));
-        let mut pages = HashSet::new();
+        let mut pages = KeySet::default();
         for (va, _) in mem_vas(&mut g, 4000) {
             pages.insert(va.vpn());
         }

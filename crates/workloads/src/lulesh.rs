@@ -122,7 +122,7 @@ crate::common::impl_mixed_stream!(Lulesh);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::KeySet;
 
     #[test]
     fn mesh_edge_from_footprint() {
@@ -136,7 +136,7 @@ mod tests {
     fn sweep_covers_footprint_each_timestep() {
         let mut l = Lulesh::new(512, 0, Rng::new(2));
         let range = l.elems().vpn_range();
-        let mut pages = HashSet::new();
+        let mut pages = KeySet::default();
         while l.timestep() == 0 {
             if let WorkOp::Mem { va, .. } = l.next_op() {
                 if range.contains(&va.vpn().0) {

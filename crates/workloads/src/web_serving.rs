@@ -117,7 +117,7 @@ crate::common::impl_mixed_stream!(WebServing);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::KeySet;
 
     #[test]
     fn hot_set_absorbs_most_traffic() {
@@ -143,8 +143,8 @@ mod tests {
         let mut ws = WebServing::new(4096, 0, Rng::new(2));
         let hot = ws.hot().vpn_range();
         let obj = ws.objects().vpn_range();
-        let mut hot_pages = HashSet::new();
-        let mut obj_pages = HashSet::new();
+        let mut hot_pages = KeySet::default();
+        let mut obj_pages = KeySet::default();
         for _ in 0..200_000 {
             if let WorkOp::Mem { va, .. } = ws.next_op() {
                 let p = va.vpn().0;

@@ -98,7 +98,7 @@ crate::common::impl_mixed_stream!(XsBench);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use tmprof_sim::keymap::{KeyMap, KeySet};
 
     fn mem_pages(gen: &mut XsBench, n: usize) -> Vec<Vpn> {
         let mut out = Vec::new();
@@ -116,8 +116,8 @@ mod tests {
         let index_range = x.index().vpn_range();
         let grid_range = x.grid().vpn_range();
         let pages = mem_pages(&mut x, 20_000);
-        let mut index_hits = std::collections::HashMap::new();
-        let mut grid_hits = std::collections::HashMap::new();
+        let mut index_hits = KeyMap::default();
+        let mut grid_hits = KeyMap::default();
         for p in pages {
             if index_range.contains(&p.0) {
                 *index_hits.entry(p).or_insert(0u64) += 1;
@@ -137,7 +137,7 @@ mod tests {
     fn grid_coverage_grows_with_lookups() {
         let mut x = XsBench::new(8192, 0, Rng::new(2));
         let grid_range = x.grid().vpn_range();
-        let mut distinct = HashSet::new();
+        let mut distinct = KeySet::default();
         for p in mem_pages(&mut x, 30_000) {
             if grid_range.contains(&p.0) {
                 distinct.insert(p);

@@ -35,7 +35,7 @@ proptest! {
         let mut gens = cfg.spawn();
         let budget = cfg.footprint_pages + cfg.footprint_pages / 4 + 64;
         for g in &mut gens {
-            let mut pages = std::collections::HashSet::new();
+            let mut pages = tmprof_sim::keymap::KeySet::default();
             for _ in 0..20_000 {
                 if let WorkOp::Mem { va, .. } = g.next_op() {
                     pages.insert(va.vpn());
@@ -92,7 +92,7 @@ proptest! {
     fn sites_form_a_small_stable_set(kind in any_kind(), seed: u64) {
         let cfg = kind.default_config().with_seed(seed).scaled_footprint(1, 16);
         let mut g = cfg.spawn().remove(0);
-        let mut sites = std::collections::HashSet::new();
+        let mut sites = tmprof_sim::keymap::KeySet::default();
         for _ in 0..20_000 {
             if let WorkOp::Mem { site, .. } = g.next_op() {
                 sites.insert(site);
