@@ -19,9 +19,9 @@ fn synthetic_profile(pages: u64) -> EpochProfile {
             vpn: Vpn(v),
         }
         .pack();
-        p.abit.insert(key, 1 + (rng.below(8)) as u32);
+        p.abit.insert(key, 1 + rng.below(8));
         if rng.chance(0.3) {
-            p.trace.insert(key, 1 + (rng.below(50)) as u32);
+            p.trace.insert(key, 1 + rng.below(50));
         }
     }
     p

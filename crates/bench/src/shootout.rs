@@ -114,10 +114,10 @@ pub fn score_tmp(kind: WorkloadKind, scale: &Scale) -> Scorecard {
     let mut truth: HashMap<u64, u64> = HashMap::new();
     for e in &run.log.epochs {
         for (&k, &v) in &e.profile.abit {
-            *estimate.entry(k).or_insert(0) += v as u64;
+            *estimate.entry(k).or_insert(0) += v;
         }
         for (&k, &v) in &e.profile.trace {
-            *estimate.entry(k).or_insert(0) += v as u64;
+            *estimate.entry(k).or_insert(0) += v;
         }
         for (&k, &v) in &e.truth_mem {
             *truth.entry(k).or_insert(0) += v;

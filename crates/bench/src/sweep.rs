@@ -32,9 +32,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// One grid cell's pending outcome: wall-clock plus the cell's result or
-/// the captured panic message.
-type CellSlot<T> = Mutex<Option<(Duration, Result<T, String>)>>;
+use tmprof_obs::metrics::Snapshot;
+
+/// One grid cell's pending outcome: wall-clock, the cell's thread-local
+/// metric delta, and its result or the captured panic message.
+type CellSlot<T> = Mutex<Option<(Duration, Snapshot, Result<T, String>)>>;
 
 /// Environment variable overriding the worker-thread count (registered as
 /// [`tmprof_core::knobs::SWEEP_WORKERS`]).
@@ -111,10 +113,15 @@ where
                     let w = &self.workloads[i / self.params.len()];
                     let p = &self.params[i % self.params.len()];
                     let cell_start = Instant::now();
+                    // Metrics are thread-local, so bracketing the cell on
+                    // the worker thread yields this cell's own delta even
+                    // though the thread runs many cells back to back.
+                    let before = Snapshot::take();
                     let outcome = catch_unwind(AssertUnwindSafe(|| cell(w, p)))
                         .map_err(|payload| panic_message(payload.as_ref()));
+                    let metrics = Snapshot::take().delta_since(&before);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) =
-                        Some((cell_start.elapsed(), outcome));
+                        Some((cell_start.elapsed(), metrics, outcome));
                 });
             }
         });
@@ -123,7 +130,7 @@ where
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
-                let (elapsed, outcome) = slot
+                let (elapsed, metrics, outcome) = slot
                     .into_inner()
                     .unwrap_or_else(|e| e.into_inner())
                     .expect("every queued cell ran");
@@ -131,6 +138,7 @@ where
                     workload: self.workloads[i / self.params.len()].clone(),
                     param: self.params[i % self.params.len()].clone(),
                     elapsed,
+                    metrics,
                     outcome,
                 }
             })
@@ -159,6 +167,9 @@ pub struct SweepCell<W, P, T> {
     pub workload: W,
     pub param: P,
     pub elapsed: Duration,
+    /// Thread-local observability delta recorded while the cell ran
+    /// (all-zero when the workspace is built with `obs-off`).
+    pub metrics: Snapshot,
     /// `Ok(output)` or the captured panic message.
     pub outcome: Result<T, String>,
 }
@@ -250,6 +261,47 @@ where
         }
     }
 
+    /// Long-form CSV of every cell's metric delta: one row per
+    /// (cell, metric), all metrics in registry order, cells in grid order,
+    /// so sidecars from identical runs are byte-identical.
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from("workload,param,metric,value\n");
+        for c in &self.cells {
+            for (m, v) in c.metrics.iter() {
+                out.push_str(&format!(
+                    "{:?},{:?},{},{}\n",
+                    c.workload,
+                    c.param,
+                    m.name(),
+                    v
+                ));
+            }
+        }
+        out
+    }
+
+    /// Sum of all cells' metric deltas (the whole sweep's footprint).
+    pub fn metrics_total(&self) -> Snapshot {
+        let mut total = Snapshot::default();
+        for c in &self.cells {
+            total.merge(&c.metrics);
+        }
+        total
+    }
+
+    /// Write the per-cell metrics sidecar into `dir` as
+    /// `<name>.metrics.csv`. Returns the path written.
+    pub fn write_metrics_sidecar(
+        &self,
+        dir: &std::path::Path,
+        name: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.metrics.csv"));
+        std::fs::write(&path, self.metrics_csv())?;
+        Ok(path)
+    }
+
     /// Print a one-line timing summary (plus any failures) to stderr.
     pub fn log_summary(&self, name: &str) {
         let slowest = self.cells.iter().max_by_key(|c| c.elapsed);
@@ -277,6 +329,12 @@ where
                 failure.elapsed.as_secs_f64(),
                 failure.message
             );
+        }
+        if let Some(dir) = tmprof_core::knobs::OBS_DIR.get() {
+            match self.write_metrics_sidecar(std::path::Path::new(&dir), name) {
+                Ok(path) => eprintln!("[sweep {name}] metrics sidecar: {}", path.display()),
+                Err(e) => eprintln!("[sweep {name}] metrics sidecar write failed: {e}"),
+            }
         }
     }
 }
@@ -354,6 +412,43 @@ mod tests {
         assert!(PEAK.load(Ordering::SeqCst) <= 2);
         let seen: HashSet<u32> = results.successes().map(|(_, _, &v)| v).collect();
         assert_eq!(seen.len(), 8);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn per_cell_metric_deltas_are_isolated() {
+        use tmprof_obs::metrics::{add, Metric};
+        // Serial so every cell shares one worker thread: the bracketing
+        // must still attribute each cell only its own increments.
+        let results = Sweep::over(vec![1u64, 2, 3]).workers(1).run(|&w, _| {
+            add(Metric::SimBatchOps, 10 * w);
+            w
+        });
+        for cell in results.cells() {
+            assert_eq!(cell.metrics.get(Metric::SimBatchOps), 10 * cell.workload);
+            assert_eq!(cell.metrics.iter_nonzero().count(), 1);
+        }
+        assert_eq!(results.metrics_total().get(Metric::SimBatchOps), 60);
+        let csv = results.metrics_csv();
+        assert!(csv.starts_with("workload,param,metric,value\n"));
+        assert!(csv.contains("2,(),sim.batch_ops,20\n"));
+        assert_eq!(
+            csv.lines().count(),
+            1 + 3 * Metric::COUNT,
+            "one row per (cell, metric) plus the header"
+        );
+    }
+
+    #[test]
+    fn metrics_sidecar_writes_grid_ordered_csv() {
+        let results = Sweep::over(vec![1u32, 2]).run(|&w, _| w);
+        let dir = std::env::temp_dir().join("tmprof-sweep-sidecar-test");
+        let path = results
+            .write_metrics_sidecar(&dir, "unit")
+            .expect("sidecar written");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, results.metrics_csv());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that take no value.
-const SWITCHES: [&str; 4] = ["thp", "pebs", "csv", "help"];
+const SWITCHES: [&str; 5] = ["thp", "pebs", "csv", "json", "help"];
 
 /// Parse `args` (without the program name).
 pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError> {

@@ -285,6 +285,66 @@ pub fn cmd_emulate(parsed: &Parsed) -> Result<String, CliError> {
     ))
 }
 
+/// `tmpctl metrics --workload W [...] [--csv|--json]` — profile one
+/// workload, then dump the observability counters it left behind.
+pub fn cmd_metrics(parsed: &Parsed) -> Result<String, CliError> {
+    let (kind, opts) = options_from(parsed)?;
+    tmprof_obs::metrics::reset();
+    let run = run_workload(kind, &opts);
+    let snap = tmprof_obs::metrics::Snapshot::take();
+    if parsed.switch("csv") {
+        return Ok(snap.to_csv());
+    }
+    if parsed.switch("json") {
+        return Ok(snap.to_json());
+    }
+    let mut out = format!(
+        "observability counters after profiling {} for {} epochs\n\n",
+        kind.name(),
+        run.epochs
+    );
+    if !tmprof_obs::ENABLED {
+        out.push_str("(observability compiled out: obs-off build)\n");
+        return Ok(out);
+    }
+    let mut table = Table::new(vec!["metric", "value", "what"]);
+    for (m, v) in snap.iter_nonzero() {
+        table.row(vec![
+            m.name().to_string(),
+            v.to_string(),
+            m.help().to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `tmpctl journal --workload W [--cap N] [...] [--csv|--json]` — profile
+/// one workload and dump the event journal it produced.
+pub fn cmd_journal(parsed: &Parsed) -> Result<String, CliError> {
+    let cap = parsed.get_u64("cap", tmprof_obs::journal::DEFAULT_CAPACITY as u64)? as usize;
+    tmprof_obs::journal::set_capacity(cap);
+    let (kind, opts) = options_from(parsed)?;
+    let run = run_workload(kind, &opts);
+    if parsed.switch("csv") {
+        return Ok(tmprof_obs::journal::to_csv());
+    }
+    if parsed.switch("json") {
+        return Ok(tmprof_obs::journal::to_json());
+    }
+    let mut out = format!(
+        "event journal after profiling {} for {} epochs\n",
+        kind.name(),
+        run.epochs
+    );
+    if !tmprof_obs::ENABLED {
+        out.push_str("(observability compiled out: obs-off build)\n");
+        return Ok(out);
+    }
+    out.push_str(&tmprof_obs::journal::dump());
+    Ok(out)
+}
+
 /// `tmpctl knobs`: the registered `TMPROF_*` environment knobs and their
 /// current values.
 pub fn cmd_knobs() -> String {
@@ -320,6 +380,10 @@ COMMANDS:
             [--ratio-denoms 8,16,32]
   emulate   --workload W         §VI-C speedup vs first-touch
             [--ratio N]          slow:fast capacity ratio (default 15)
+  metrics   --workload W         profile, then dump the observability
+            [--csv|--json]       counters (nonzero table by default)
+  journal   --workload W         profile, then dump the event journal
+            [--cap N] [--csv|--json]
   knobs                          list TMPROF_* environment knobs
   help                           this text
 
@@ -336,6 +400,8 @@ pub fn dispatch(parsed: &Parsed) -> Result<String, CliError> {
         "heatmap" => cmd_heatmap(parsed),
         "hitrate" => cmd_hitrate(parsed),
         "emulate" => cmd_emulate(parsed),
+        "metrics" => cmd_metrics(parsed),
+        "journal" => cmd_journal(parsed),
         "knobs" => Ok(cmd_knobs()),
         "help" => Ok(cmd_help()),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -389,6 +455,8 @@ mod tests {
             "heatmap",
             "hitrate",
             "emulate",
+            "metrics",
+            "journal",
             "knobs",
         ] {
             assert!(help.contains(cmd));
@@ -428,6 +496,42 @@ mod tests {
         .to_string();
         assert!(out.contains("heatmap of LULESH"));
         assert!(out.contains("time ->"));
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn metrics_reports_the_run_it_just_made() {
+        std::env::set_var("TMPROF_SCALE", "quick");
+        let out = run(&["metrics", "--workload", "gups", "--epochs", "2"]).unwrap();
+        assert!(out.contains("sim.batch_ops"), "{out}");
+        assert!(out.contains("trace.samples_counted"), "{out}");
+        assert!(out.contains("abit.ptes_scanned"), "{out}");
+        let csv = run(&["metrics", "--workload", "gups", "--epochs", "2", "--csv"]).unwrap();
+        assert!(csv.starts_with("metric,value\n"));
+        assert_eq!(
+            csv.lines().count(),
+            tmprof_obs::metrics::Metric::COUNT + 1,
+            "CSV covers the whole registry"
+        );
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn journal_records_epoch_horizons() {
+        std::env::set_var("TMPROF_SCALE", "quick");
+        let out = run(&[
+            "journal",
+            "--workload",
+            "gups",
+            "--epochs",
+            "2",
+            "--cap",
+            "64",
+        ])
+        .unwrap();
+        assert!(out.contains("journal capacity=64"), "{out}");
+        assert!(out.contains("epoch_end"), "{out}");
+        tmprof_obs::journal::set_capacity(tmprof_obs::journal::DEFAULT_CAPACITY);
     }
 
     #[test]

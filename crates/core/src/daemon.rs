@@ -134,6 +134,11 @@ impl ProcessFilter {
         }
         let mut pids: Vec<Pid> = passing.into_iter().map(|u| u.pid).collect();
         pids.sort_unstable();
+        tmprof_obs::metrics::inc(tmprof_obs::metrics::Metric::DaemonFilterRuns);
+        tmprof_obs::metrics::set(
+            tmprof_obs::metrics::Metric::DaemonTrackedPids,
+            pids.len() as u64,
+        );
         pids
     }
 }

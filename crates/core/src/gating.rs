@@ -8,6 +8,8 @@
 //! profiling method active." LLC misses gate trace sampling; TLB misses
 //! (page walks) gate A-bit scanning.
 
+use tmprof_obs::journal::EventKind as ObsEvent;
+use tmprof_obs::metrics::Metric as ObsMetric;
 use tmprof_profilers::hwpc::{HwpcMonitor, PmuEvent};
 use tmprof_sim::machine::Machine;
 
@@ -16,6 +18,17 @@ use tmprof_sim::machine::Machine;
 pub struct GatingConfig {
     /// Activity threshold as a fraction of the running maximum (paper: 0.2).
     pub threshold: f64,
+    /// Fraction of each running maximum retained per evaluation period.
+    /// The paper tracks "the maximum value counted during a given period";
+    /// an undecayed lifetime maximum lets one burst permanently raise the
+    /// bar and deactivate profiling forever. 1.0 reproduces that old
+    /// behavior; 0.0 compares against the current period only.
+    pub max_decay: f64,
+    /// Absolute per-period event floor. Below it a mechanism is idle no
+    /// matter what the relative threshold says — otherwise the first
+    /// trickle on an idle machine becomes its own maximum and trivially
+    /// satisfies `x >= threshold * x`.
+    pub min_activity: f64,
     /// Disable gating entirely (both profilers always on).
     pub always_on: bool,
 }
@@ -24,8 +37,28 @@ impl Default for GatingConfig {
     fn default() -> Self {
         Self {
             threshold: 0.20,
+            max_decay: 0.5,
+            min_activity: 64.0,
             always_on: false,
         }
+    }
+}
+
+impl GatingConfig {
+    /// Defaults with the decay overridden by `TMPROF_GATE_DECAY` (integer
+    /// percent, 0–100) when set. Parsed here rather than via
+    /// [`crate::knobs::Knob::get_u64`] because 0 ("no history") is a
+    /// meaningful value for this knob.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(pct) = crate::knobs::GATE_DECAY
+            .get()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&p| p <= 100)
+        {
+            cfg.max_decay = pct as f64 / 100.0;
+        }
+        cfg
     }
 }
 
@@ -73,8 +106,10 @@ impl Gating {
             .iter()
             .find(|r| r.event == PmuEvent::PtwWalks)
             .map_or(0.0, |r| r.value);
-        self.max_llc = self.max_llc.max(llc);
-        self.max_tlb = self.max_tlb.max(tlb);
+        // Decay first, then fold in the current period: the maxima are a
+        // fading memory of recent peaks, not a lifetime high-water mark.
+        self.max_llc = (self.max_llc * self.cfg.max_decay).max(llc);
+        self.max_tlb = (self.max_tlb * self.cfg.max_decay).max(tlb);
         let decision = if self.cfg.always_on {
             GateDecision {
                 trace_active: true,
@@ -82,10 +117,41 @@ impl Gating {
             }
         } else {
             GateDecision {
-                trace_active: self.max_llc > 0.0 && llc >= self.cfg.threshold * self.max_llc,
-                abit_active: self.max_tlb > 0.0 && tlb >= self.cfg.threshold * self.max_tlb,
+                trace_active: llc >= self.cfg.min_activity
+                    && llc >= self.cfg.threshold * self.max_llc,
+                abit_active: tlb >= self.cfg.min_activity
+                    && tlb >= self.cfg.threshold * self.max_tlb,
             }
         };
+        tmprof_obs::metrics::inc(ObsMetric::GateEvaluations);
+        if decision.trace_active {
+            tmprof_obs::metrics::inc(ObsMetric::GateTraceOnPeriods);
+        }
+        if decision.abit_active {
+            tmprof_obs::metrics::inc(ObsMetric::GateAbitOnPeriods);
+        }
+        if decision != self.last {
+            tmprof_obs::metrics::inc(ObsMetric::GateFlips);
+            let (clock, epoch) = (machine.clock(), machine.epoch());
+            if decision.trace_active != self.last.trace_active {
+                tmprof_obs::journal::record(
+                    ObsEvent::GateTrace,
+                    clock,
+                    epoch,
+                    decision.trace_active as u64,
+                    llc as u64,
+                );
+            }
+            if decision.abit_active != self.last.abit_active {
+                tmprof_obs::journal::record(
+                    ObsEvent::GateAbit,
+                    clock,
+                    epoch,
+                    decision.abit_active as u64,
+                    tlb as u64,
+                );
+            }
+        }
         self.last = decision;
         decision
     }
@@ -190,6 +256,59 @@ mod tests {
         idle_memory(&mut m, 1000);
         let d = g.evaluate(&m);
         assert!(d.trace_active && d.abit_active);
+    }
+
+    #[test]
+    fn burst_then_sustained_moderate_pressure_reactivates() {
+        // Regression (lifetime-max bug): one huge burst used to set a
+        // permanent maximum, so later *sustained* moderate pressure — real
+        // activity, just under 20% of the burst — could never re-activate
+        // the profilers. With the per-period decay the maxima fade and the
+        // moderate phase re-arms both mechanisms.
+        let mut m = machine();
+        let mut g = Gating::new(GatingConfig::default(), &m);
+        pressure(&mut m, 50); // huge burst
+        g.evaluate(&m);
+        let mut trace_back = false;
+        let mut abit_back = false;
+        for period in 1..=6u64 {
+            // ~1/10th of the burst per period, each over a fresh range so
+            // caches and TLBs stay cold.
+            pressure_at(&mut m, (period * 256 + 256) * PAGE_SIZE, 5);
+            let d = g.evaluate(&m);
+            trace_back |= d.trace_active;
+            abit_back |= d.abit_active;
+        }
+        assert!(
+            trace_back,
+            "sustained moderate LLC pressure never re-activated trace sampling"
+        );
+        assert!(
+            abit_back,
+            "sustained moderate TLB pressure never re-activated A-bit scans"
+        );
+    }
+
+    #[test]
+    fn trickle_on_idle_start_stays_gated_off() {
+        // Regression (vacuous first evaluate): on a near-idle machine the
+        // first reading became its own maximum, so `llc >= 0.2 * llc` held
+        // trivially and the profilers stayed on during an idle start. The
+        // absolute activity floor keeps them off.
+        let mut m = machine();
+        let mut g = Gating::new(GatingConfig::default(), &m);
+        for i in 0..4u64 {
+            m.touch(0, 1, VirtAddr(i * PAGE_SIZE));
+        }
+        let d = g.evaluate(&m);
+        assert!(
+            !d.trace_active,
+            "a trickle became its own max and kept trace sampling on"
+        );
+        assert!(
+            !d.abit_active,
+            "a trickle became its own max and kept A-bit scanning on"
+        );
     }
 
     #[test]

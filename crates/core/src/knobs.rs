@@ -67,8 +67,43 @@ pub const SIM_BATCH: Knob = Knob {
            the batched runner (read in tmprof_sim::runner).",
 };
 
+/// Per-period decay of the gating engine's running maxima.
+pub const GATE_DECAY: Knob = Knob {
+    name: "TMPROF_GATE_DECAY",
+    default: "50",
+    accepts: "integer percent 0..=100",
+    help: "Percent of the gating maxima retained per evaluation period; \
+           100 keeps a lifetime maximum (the pre-decay behavior), 0 \
+           compares each period only against itself.",
+};
+
+/// Capacity of the thread-local observability event journal.
+pub const OBS_JOURNAL: Knob = Knob {
+    name: "TMPROF_OBS_JOURNAL",
+    default: "4096",
+    accepts: "non-negative integer (events; 0 disables recording)",
+    help: "Ring-buffer capacity of the per-thread event journal (read in \
+           tmprof_obs::journal; see the layering note above).",
+};
+
+/// Output directory for per-cell sweep metrics sidecars.
+pub const OBS_DIR: Knob = Knob {
+    name: "TMPROF_OBS_DIR",
+    default: "unset (sidecars disabled)",
+    accepts: "directory path",
+    help: "When set, sweep summaries also write one metrics CSV sidecar \
+           per sweep into this directory.",
+};
+
 /// Every registered knob, in display order.
-pub const ALL: &[Knob] = &[SCALE, SWEEP_WORKERS, SIM_BATCH];
+pub const ALL: &[Knob] = &[
+    SCALE,
+    SWEEP_WORKERS,
+    SIM_BATCH,
+    GATE_DECAY,
+    OBS_JOURNAL,
+    OBS_DIR,
+];
 
 /// Look a knob up by its environment-variable name.
 pub fn lookup(name: &str) -> Option<&'static Knob> {
@@ -105,6 +140,12 @@ mod tests {
         assert_eq!(
             SIM_BATCH.default,
             tmprof_sim::runner::DEFAULT_BATCH.to_string()
+        );
+        // obs sits below core too; same deal for the journal capacity.
+        assert_eq!(OBS_JOURNAL.name, tmprof_obs::journal::CAP_ENV);
+        assert_eq!(
+            OBS_JOURNAL.default,
+            tmprof_obs::journal::DEFAULT_CAPACITY.to_string()
         );
     }
 

@@ -38,7 +38,7 @@ impl TmpConfig {
             trace: TraceConfig::ibs(base_period).at_rate(4),
             abit: ABitConfig::default(),
             filter: FilterConfig::default(),
-            gating: GatingConfig::default(),
+            gating: GatingConfig::from_env(),
             record_profiles: false,
         }
     }
@@ -139,6 +139,7 @@ impl Tmp {
         machine.descs_mut().reset_epoch();
         let truth = machine.advance_epoch();
         self.epochs_closed += 1;
+        tmprof_obs::metrics::inc(tmprof_obs::metrics::Metric::CoreEpochsClosed);
 
         TmpEpochReport {
             epoch,

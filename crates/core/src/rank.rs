@@ -49,9 +49,9 @@ pub struct RankedPage {
 #[derive(Clone, Debug, Default)]
 pub struct EpochProfile {
     /// A-bit observations per page.
-    pub abit: KeyMap<u64, u32>,
+    pub abit: KeyMap<u64, u64>,
     /// Trace samples per page.
-    pub trace: KeyMap<u64, u32>,
+    pub trace: KeyMap<u64, u64>,
 }
 
 impl EpochProfile {
@@ -73,8 +73,8 @@ impl EpochProfile {
 
     /// Rank value of a page under `source`.
     pub fn rank_of(&self, key: u64, source: RankSource) -> u64 {
-        let a = self.abit.get(&key).copied().unwrap_or(0) as u64;
-        let t = self.trace.get(&key).copied().unwrap_or(0) as u64;
+        let a = self.abit.get(&key).copied().unwrap_or(0);
+        let t = self.trace.get(&key).copied().unwrap_or(0);
         match source {
             RankSource::ABit => a,
             RankSource::Trace => t,

@@ -7,8 +7,8 @@ use tmprof_core::report::{cdf_points, heat_concentration};
 
 fn arbitrary_profile() -> impl Strategy<Value = EpochProfile> {
     (
-        prop::collection::hash_map(0u64..500, 1u32..100, 0..60),
-        prop::collection::hash_map(0u64..500, 1u32..100, 0..60),
+        prop::collection::hash_map(0u64..500, 1u64..100, 0..60),
+        prop::collection::hash_map(0u64..500, 1u64..100, 0..60),
     )
         .prop_map(|(abit, trace)| EpochProfile { abit, trace })
 }

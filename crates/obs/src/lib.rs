@@ -1,0 +1,32 @@
+//! `tmprof-obs`: deterministic self-observation for the tmprof stack.
+//!
+//! The paper's thesis is that profiling must be cheap enough to leave on
+//! in production; this crate applies the same bar to the reproduction
+//! observing *itself*. Two facilities, both deterministic and integer-only:
+//!
+//! * [`metrics`] — a static registry of named `u64` counters/gauges held in
+//!   plain thread-local cells. No atomics, no locks, no heap on the hot
+//!   path; an increment is an indexed `Cell` add behind an `#[inline]`
+//!   accessor.
+//! * [`journal`] — a fixed-capacity ring buffer of epoch-scoped events
+//!   (gate flips, epoch horizons, migration batches, TLB shootdowns,
+//!   huge-page fallbacks) stamped with caller-supplied sim-clock cycles.
+//!
+//! Both are **thread-local by design**: the sweep engine runs experiment
+//! cells on worker threads inside one process, and per-cell accounting
+//! (snapshot deltas, byte-identical journal dumps) only works if cells
+//! cannot observe each other's increments. Thread-locality is also what
+//! keeps the subsystem deterministic — no cross-thread interleaving can
+//! change what a snapshot or dump contains.
+//!
+//! Compiling with the `obs-off` feature replaces every accessor with an
+//! empty inline function, removing the thread-locals entirely: the batched
+//! exec path is provably unaffected (the A/B study in EXPERIMENTS.md keeps
+//! it honest).
+
+pub mod journal;
+pub mod metrics;
+
+/// `false` when the crate was built with the `obs-off` feature; exporters
+/// use this to say "observability compiled out" instead of printing zeros.
+pub const ENABLED: bool = cfg!(not(feature = "obs-off"));

@@ -1,0 +1,318 @@
+//! Static counter/gauge registry.
+//!
+//! Every metric the workspace records is declared once in the
+//! [`metrics!`](macro) table below, which expands to the [`Metric`] enum
+//! plus its name/help lookup. Storage is one thread-local array of plain
+//! `Cell<u64>` indexed by the enum discriminant — an increment is a bounds-
+//! checked load/add/store with no synchronization, and with `obs-off` the
+//! accessors compile to empty inline functions (the array itself is not
+//! even declared).
+//!
+//! Counters use [`add`]/[`inc`]; gauges (point-in-time values such as the
+//! daemon's tracked-process count) use [`set`]. [`Snapshot`] captures the
+//! calling thread's cells so callers can diff before/after an experiment
+//! cell ([`Snapshot::delta_since`]) and export the result.
+
+macro_rules! metrics {
+    ($($variant:ident => $name:literal, $help:literal;)+) => {
+        /// One registered metric. The discriminant is the cell index.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(usize)]
+        pub enum Metric {
+            $($variant,)+
+        }
+
+        impl Metric {
+            /// Number of registered metrics.
+            pub const COUNT: usize = [$(Metric::$variant),+].len();
+
+            /// Every metric, in registry (display) order.
+            pub const ALL: [Metric; Metric::COUNT] = [$(Metric::$variant),+];
+
+            /// Stable dotted name (`layer.metric`).
+            pub fn name(self) -> &'static str {
+                match self { $(Metric::$variant => $name,)+ }
+            }
+
+            /// What the metric counts.
+            pub fn help(self) -> &'static str {
+                match self { $(Metric::$variant => $help,)+ }
+            }
+        }
+    };
+}
+
+metrics! {
+    // -- sim: machine + batched exec path -------------------------------
+    SimBatchOps => "sim.batch_ops",
+        "ops executed through Machine::exec_batch";
+    SimMemoHits => "sim.memo_hits",
+        "translation-memo fast-path hits inside exec_batch";
+    SimBatchFallbacks => "sim.batch_fallbacks",
+        "exec_batch ops that fell back to the reference exec path";
+    SimShootdowns => "sim.shootdowns",
+        "TLB shootdown broadcasts issued";
+    SimShootdownPages => "sim.shootdown_pages",
+        "pages invalidated across all shootdown broadcasts";
+    SimHugeFallbacks => "sim.huge_fallbacks",
+        "THP first-touch mappings that fell back to base pages (HugeConflict)";
+    SimMigrations => "sim.migrations",
+        "pages physically moved between tiers";
+    SimEpochs => "sim.epochs",
+        "machine epoch horizons crossed";
+    // -- profilers ------------------------------------------------------
+    TraceSamplesCounted => "trace.samples_counted",
+        "trace samples aggregated into page heat";
+    TraceSamplesFiltered => "trace.samples_filtered",
+        "trace samples discarded by the demand-load/memory-source filters";
+    TraceSamplesDropped => "trace.samples_dropped",
+        "trace samples lost to hardware buffer overflow";
+    AbitPtesScanned => "abit.ptes_scanned",
+        "PTEs visited by A-bit scans";
+    AbitObservations => "abit.observations",
+        "A bits found set during scans";
+    // -- core: gating + daemon + epoch engine ---------------------------
+    GateEvaluations => "gate.evaluations",
+        "HWPC gate evaluation periods";
+    GateFlips => "gate.flips",
+        "gate decisions that changed a mechanism's on/off state";
+    GateTraceOnPeriods => "gate.trace_on_periods",
+        "evaluation periods that left trace sampling enabled";
+    GateAbitOnPeriods => "gate.abit_on_periods",
+        "evaluation periods that left A-bit scanning enabled";
+    DaemonFilterRuns => "daemon.filter_runs",
+        "process-filter re-evaluations";
+    DaemonTrackedPids => "daemon.tracked_pids",
+        "processes currently selected by the filter (gauge)";
+    CoreEpochsClosed => "core.epochs_closed",
+        "epochs closed by the TMP engine";
+    // -- policy ---------------------------------------------------------
+    PolicyPagesPromoted => "policy.pages_promoted",
+        "pages promoted into tier 1 by the mover";
+    PolicyPagesDemoted => "policy.pages_demoted",
+        "pages demoted to tier 2 by the mover";
+    PolicyMigrationCycles => "policy.migration_cycles",
+        "cycles charged for migration copies and batched shootdowns";
+}
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    static CELLS: [std::cell::Cell<u64>; Metric::COUNT] =
+        const { [const { std::cell::Cell::new(0) }; Metric::COUNT] };
+}
+
+/// Add `n` to a counter on the calling thread.
+#[inline]
+pub fn add(metric: Metric, n: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    CELLS.with(|cells| {
+        let cell = &cells[metric as usize];
+        cell.set(cell.get().wrapping_add(n));
+    });
+    #[cfg(feature = "obs-off")]
+    let _ = (metric, n);
+}
+
+/// Increment a counter by one.
+#[inline]
+pub fn inc(metric: Metric) {
+    add(metric, 1);
+}
+
+/// Set a gauge to `value` (overwrites, does not accumulate).
+#[inline]
+pub fn set(metric: Metric, value: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    CELLS.with(|cells| cells[metric as usize].set(value));
+    #[cfg(feature = "obs-off")]
+    let _ = (metric, value);
+}
+
+/// Current value of one metric on the calling thread.
+#[inline]
+pub fn get(metric: Metric) -> u64 {
+    #[cfg(not(feature = "obs-off"))]
+    return CELLS.with(|cells| cells[metric as usize].get());
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = metric;
+        0
+    }
+}
+
+/// Zero every cell on the calling thread (test/CLI hygiene).
+pub fn reset() {
+    #[cfg(not(feature = "obs-off"))]
+    CELLS.with(|cells| {
+        for cell in cells {
+            cell.set(0);
+        }
+    });
+}
+
+/// A point-in-time copy of the calling thread's metric cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    values: [u64; Metric::COUNT],
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self {
+            values: [0; Metric::COUNT],
+        }
+    }
+}
+
+impl Snapshot {
+    /// Capture the calling thread's current values (all zero with `obs-off`).
+    pub fn take() -> Self {
+        let mut snap = Self::default();
+        for m in Metric::ALL {
+            snap.values[m as usize] = get(m);
+        }
+        snap
+    }
+
+    /// Value of one metric in this snapshot.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric as usize]
+    }
+
+    /// Per-metric difference `self - earlier` (wrapping), for bracketing a
+    /// unit of work with two [`Snapshot::take`] calls.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut out = Self::default();
+        for m in Metric::ALL {
+            out.values[m as usize] =
+                self.values[m as usize].wrapping_sub(earlier.values[m as usize]);
+        }
+        out
+    }
+
+    /// Accumulate another snapshot into this one (wrapping), for summing
+    /// per-cell deltas into a whole-run total.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for m in Metric::ALL {
+            self.values[m as usize] =
+                self.values[m as usize].wrapping_add(other.values[m as usize]);
+        }
+    }
+
+    /// True when every metric is zero.
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0)
+    }
+
+    /// `(metric, value)` pairs in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = (Metric, u64)> + '_ {
+        Metric::ALL.iter().map(|&m| (m, self.values[m as usize]))
+    }
+
+    /// Nonzero `(metric, value)` pairs in registry order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Metric, u64)> + '_ {
+        self.iter().filter(|&(_, v)| v != 0)
+    }
+
+    /// CSV dump (`metric,value` with a header), every metric in registry
+    /// order so files from different runs are line-comparable.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,value\n");
+        for (m, v) in self.iter() {
+            out.push_str(&format!("{},{}\n", m.name(), v));
+        }
+        out
+    }
+
+    /// JSON object dump (registry order, stable formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (m, v) in self.iter() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!("  \"{}\": {}", m.name(), v));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        for n in &names {
+            assert!(n.contains('.'), "{n} is not layer.metric");
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Metric::COUNT, "duplicate metric names");
+        for m in Metric::ALL {
+            assert!(!m.help().is_empty(), "{} has no help", m.name());
+        }
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn add_set_get_roundtrip_on_this_thread() {
+        reset();
+        inc(Metric::SimShootdowns);
+        add(Metric::SimShootdownPages, 41);
+        add(Metric::SimShootdownPages, 1);
+        set(Metric::DaemonTrackedPids, 3);
+        set(Metric::DaemonTrackedPids, 2);
+        assert_eq!(get(Metric::SimShootdowns), 1);
+        assert_eq!(get(Metric::SimShootdownPages), 42);
+        assert_eq!(get(Metric::DaemonTrackedPids), 2, "gauge overwrites");
+        reset();
+        assert_eq!(get(Metric::SimShootdownPages), 0);
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn snapshot_delta_brackets_work() {
+        reset();
+        add(Metric::SimBatchOps, 10);
+        let before = Snapshot::take();
+        add(Metric::SimBatchOps, 7);
+        inc(Metric::SimEpochs);
+        let delta = Snapshot::take().delta_since(&before);
+        assert_eq!(delta.get(Metric::SimBatchOps), 7);
+        assert_eq!(delta.get(Metric::SimEpochs), 1);
+        assert_eq!(delta.iter_nonzero().count(), 2);
+        reset();
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn exports_are_stable_and_complete() {
+        reset();
+        add(Metric::PolicyPagesPromoted, 5);
+        let snap = Snapshot::take();
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("metric,value\n"));
+        assert!(csv.contains("policy.pages_promoted,5\n"));
+        // One line per metric plus the header.
+        assert_eq!(csv.lines().count(), Metric::COUNT + 1);
+        let json = snap.to_json();
+        assert!(json.contains("\"policy.pages_promoted\": 5"));
+        assert_eq!(snap.to_csv(), Snapshot::take().to_csv(), "dump is stable");
+        reset();
+    }
+
+    #[cfg(feature = "obs-off")]
+    #[test]
+    fn obs_off_compiles_everything_to_noops() {
+        add(Metric::SimBatchOps, 10);
+        set(Metric::DaemonTrackedPids, 3);
+        assert_eq!(get(Metric::SimBatchOps), 0);
+        assert!(Snapshot::take().is_zero());
+        assert!(!crate::ENABLED);
+    }
+}

@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use tmprof_obs::journal::EventKind as ObsEvent;
+use tmprof_obs::metrics::Metric as ObsMetric;
 use tmprof_sim::addr::Vpn;
 use tmprof_sim::keymap::KeySet;
 use tmprof_sim::machine::{Machine, MigrateError};
@@ -146,6 +148,18 @@ impl PageMover {
         // One batched shootdown per process for everything that moved.
         for (pid, vpns) in shootdowns {
             report.cycles += machine.shootdown(pid, &vpns, false);
+        }
+        tmprof_obs::metrics::add(ObsMetric::PolicyMigrationCycles, report.cycles);
+        if report.promoted + report.demoted > 0 {
+            tmprof_obs::metrics::add(ObsMetric::PolicyPagesPromoted, report.promoted);
+            tmprof_obs::metrics::add(ObsMetric::PolicyPagesDemoted, report.demoted);
+            tmprof_obs::journal::record(
+                ObsEvent::MigrationBatch,
+                machine.clock(),
+                machine.epoch(),
+                report.promoted,
+                report.demoted,
+            );
         }
         self.total.promoted += report.promoted;
         self.total.demoted += report.demoted;

@@ -96,7 +96,7 @@ mod tests {
         .pack()
     }
 
-    fn profile(reads: &[(u64, u32)]) -> EpochProfile {
+    fn profile(reads: &[(u64, u64)]) -> EpochProfile {
         let mut p = EpochProfile::default();
         for &(vpn, r) in reads {
             p.trace.insert(key(vpn), r);

@@ -8,8 +8,8 @@ use tmprof_policy::policies::{HistoryPolicy, PlacementPolicy};
 
 fn arbitrary_log() -> impl Strategy<Value = ReplayLog> {
     let epoch = (
-        prop::collection::hash_map(0u64..200, 1u32..50, 0..40),
-        prop::collection::hash_map(0u64..200, 1u32..50, 0..40),
+        prop::collection::hash_map(0u64..200, 1u64..50, 0..40),
+        prop::collection::hash_map(0u64..200, 1u64..50, 0..40),
         prop::collection::hash_map(0u64..200, 1u64..100, 1..60),
     )
         .prop_map(|(abit, trace, truth_mem)| ReplayEpoch {
@@ -81,8 +81,8 @@ proptest! {
     #[test]
     fn history_selection_is_bounded_and_sorted(
         profile in (
-            prop::collection::hash_map(0u64..300, 1u32..50, 0..50),
-            prop::collection::hash_map(0u64..300, 1u32..50, 0..50),
+            prop::collection::hash_map(0u64..300, 1u64..50, 0..50),
+            prop::collection::hash_map(0u64..300, 1u64..50, 0..50),
         ).prop_map(|(abit, trace)| EpochProfile { abit, trace }),
         capacity in 0usize..100,
     ) {

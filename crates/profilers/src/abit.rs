@@ -18,6 +18,7 @@
 //!   A-bit overhead under 1% even for 120 GB XSBench — and why Table IV's
 //!   A-bit page counts plateau for the giant-footprint HPC workloads.
 
+use tmprof_obs::metrics::Metric;
 use tmprof_sim::addr::Vpn;
 use tmprof_sim::keymap::{KeyMap, PageSet};
 use tmprof_sim::machine::Machine;
@@ -216,6 +217,8 @@ impl ABitScanner {
         self.stats.ptes_visited += fp.ptes_visited;
         self.stats.observations += observed.len() as u64;
         self.stats.overhead_cycles += cost;
+        tmprof_obs::metrics::add(Metric::AbitPtesScanned, fp.ptes_visited);
+        tmprof_obs::metrics::add(Metric::AbitObservations, observed.len() as u64);
 
         if self.cfg.shootdown && !observed.is_empty() {
             let vpns: Vec<Vpn> = observed.iter().map(|&(v, _)| v).collect();

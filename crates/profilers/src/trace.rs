@@ -9,6 +9,7 @@
 //! Table IV and the raw (epoch, frame) stream used to draw the Fig. 3
 //! heatmaps.
 
+use tmprof_obs::metrics::Metric;
 use tmprof_sim::cache::CacheLevel;
 use tmprof_sim::keymap::PageSet;
 use tmprof_sim::machine::Machine;
@@ -177,6 +178,7 @@ impl TraceProfiler {
     /// descriptors, and charge collection overhead. Call this at least once
     /// per epoch (the paper's module polls periodically).
     pub fn poll(&mut self, machine: &mut Machine) {
+        let before = self.stats;
         let interrupt = machine.config().latency.sample_interrupt;
         let mut batch: Vec<u64> = Vec::new();
         let mut scratch = std::mem::take(&mut self.scratch);
@@ -211,6 +213,20 @@ impl TraceProfiler {
         self.scratch = scratch;
         self.epoch_pages.extend_from_slice(&batch);
         self.seen_pages.merge_unsorted(batch);
+        // One bulk add per poll with this drain's stat deltas.
+        let d = &self.stats;
+        tmprof_obs::metrics::add(
+            Metric::TraceSamplesCounted,
+            d.counted_samples - before.counted_samples,
+        );
+        tmprof_obs::metrics::add(
+            Metric::TraceSamplesFiltered,
+            d.filtered_samples - before.filtered_samples,
+        );
+        tmprof_obs::metrics::add(
+            Metric::TraceSamplesDropped,
+            d.dropped_samples - before.dropped_samples,
+        );
     }
 
     /// Pages detected this epoch; clears the per-epoch set.
@@ -270,11 +286,7 @@ mod tests {
         prof.poll(&mut m);
         let stats = prof.stats();
         assert!(stats.counted_samples > 0, "no samples counted");
-        let total_desc: u64 = m
-            .descs()
-            .iter_owned()
-            .map(|(_, d)| d.trace_epoch as u64)
-            .sum();
+        let total_desc: u64 = m.descs().iter_owned().map(|(_, d)| d.trace_epoch).sum();
         assert_eq!(total_desc, stats.counted_samples);
         assert!(!prof.seen_pages().is_empty());
     }

@@ -32,6 +32,7 @@ use crate::addr::Vpn;
 use crate::machine::{ExecOutcome, Machine, MemAccess, WorkOp};
 use crate::pagedesc::PageKey;
 use crate::tlb::{Pid, TlbHit};
+use tmprof_obs::metrics::Metric;
 
 /// Memo capacity. Power of two; sized well past the whole TLB (L1 + L2)
 /// so pages of a hot working set rarely alias the surrounding cold
@@ -125,6 +126,7 @@ impl Machine {
         let mut retired = 0u64;
         let mut loads = 0u64;
         let mut stores = 0u64;
+        let mut fallbacks = 0u64;
         for &op in ops {
             match op {
                 WorkOp::Compute => {
@@ -178,6 +180,7 @@ impl Machine {
                             pend_refs = 0;
                             pend_mems = 0;
                         }
+                        fallbacks += 1;
                         let _ = self.exec_mem_at(core, proc_idx, pid, va, store, site);
                     }
                 }
@@ -191,5 +194,11 @@ impl Machine {
         counts.retired_ops += retired;
         counts.loads += loads;
         counts.stores += stores;
+        // Bulk metric adds at quantum granularity: three thread-local cell
+        // updates per quantum, nothing per op (memo hits are exactly the
+        // fast-path loads + stores).
+        tmprof_obs::metrics::add(Metric::SimBatchOps, ops.len() as u64);
+        tmprof_obs::metrics::add(Metric::SimMemoHits, loads + stores);
+        tmprof_obs::metrics::add(Metric::SimBatchFallbacks, fallbacks);
     }
 }

@@ -29,6 +29,8 @@ use crate::stats::{EpochTruth, GroundTruth};
 use crate::tier::{Tier, TieredMemory};
 use crate::tlb::{Pid, Tlb, TlbEntry, TlbHit, TlbLevel};
 use crate::trace_engine::{TagOutcome, TraceEngine, TraceMode, TraceSample};
+use tmprof_obs::journal::EventKind as ObsEvent;
+use tmprof_obs::metrics::Metric as ObsMetric;
 
 /// Cycle costs of the microarchitectural events the machine charges.
 ///
@@ -374,6 +376,13 @@ impl Machine {
         self.epoch
     }
 
+    /// The machine's aggregate sim clock: total cycles across all cores.
+    /// Deterministic for identical runs; used to stamp journal events.
+    #[inline]
+    pub fn clock(&self) -> u64 {
+        self.cores.iter().map(|c| c.counts.cycles).sum()
+    }
+
     /// Install (or remove) the protection-fault handler.
     pub fn set_fault_policy(&mut self, policy: Option<Box<dyn FaultPolicy>>) {
         self.fault_policy = policy;
@@ -503,7 +512,11 @@ impl Machine {
     /// ground truth.
     pub fn advance_epoch(&mut self) -> EpochTruth {
         self.invalidate_memos();
+        let clock = self.clock();
+        tmprof_obs::metrics::inc(ObsMetric::SimEpochs);
+        tmprof_obs::journal::record(ObsEvent::EpochEnd, clock, self.epoch, 0, 0);
         self.epoch += 1;
+        tmprof_obs::journal::record(ObsEvent::EpochStart, clock, self.epoch, 0, 0);
         self.truth.take_epoch()
     }
 
@@ -543,6 +556,15 @@ impl Machine {
             }
             charged += ipi;
         }
+        tmprof_obs::metrics::inc(ObsMetric::SimShootdowns);
+        tmprof_obs::metrics::add(ObsMetric::SimShootdownPages, vpns.len() as u64);
+        tmprof_obs::journal::record(
+            ObsEvent::TlbShootdown,
+            self.clock(),
+            self.epoch,
+            vpns.len() as u64,
+            as_profiling as u64,
+        );
         charged
     }
 
@@ -608,6 +630,7 @@ impl Machine {
         // installs; the batched IPI *cost* is charged by the mover.
         self.shootdown_silent(pid, &[vpn]);
         self.frames.free(&layout, old_pfn);
+        tmprof_obs::metrics::inc(ObsMetric::SimMigrations);
         Ok((old_pfn, new_pfn))
     }
 
@@ -945,6 +968,14 @@ impl Machine {
                                 // the run and take the base-page path, like
                                 // a failed THP collapse.
                                 self.frames.free_huge(&self.cfg.memory, base_pfn);
+                                tmprof_obs::metrics::inc(ObsMetric::SimHugeFallbacks);
+                                tmprof_obs::journal::record(
+                                    ObsEvent::HugeFallback,
+                                    self.cores.iter().map(|c| c.counts.cycles).sum(),
+                                    epoch,
+                                    base.0,
+                                    0,
+                                );
                             }
                         }
                     }

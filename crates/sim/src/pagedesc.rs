@@ -43,10 +43,13 @@ impl PageKey {
 pub struct PageDesc {
     /// Which logical page currently occupies this frame (reverse mapping).
     pub owner: Option<PageKey>,
-    /// A-bit observations accumulated in the current epoch.
-    pub abit_epoch: u32,
+    /// A-bit observations accumulated in the current epoch. Wide on
+    /// purpose: the old `u32` + `saturating_add` pinned every page past
+    /// ~4.3e9 observations at the same rank, freezing hotness ordering
+    /// exactly on the longest-lived pages.
+    pub abit_epoch: u64,
     /// Trace (IBS/PEBS) samples accumulated in the current epoch.
-    pub trace_epoch: u32,
+    pub trace_epoch: u64,
     /// Lifetime A-bit observations.
     pub abit_total: u64,
     /// Lifetime trace samples.
@@ -60,7 +63,7 @@ impl PageDesc {
     /// populations are the same order of magnitude, so hotness is their sum.
     #[inline]
     pub fn epoch_rank(&self) -> u64 {
-        self.abit_epoch as u64 + self.trace_epoch as u64
+        self.abit_epoch + self.trace_epoch
     }
 
     /// Zero the per-epoch counters (called at each epoch horizon).
@@ -115,7 +118,7 @@ impl PageDescTable {
     #[inline]
     pub fn bump_abit(&mut self, pfn: Pfn, epoch: u32) {
         let d = self.get_mut(pfn);
-        d.abit_epoch = d.abit_epoch.saturating_add(1);
+        d.abit_epoch += 1;
         d.abit_total += 1;
         d.last_touched_epoch = epoch;
     }
@@ -124,7 +127,7 @@ impl PageDescTable {
     #[inline]
     pub fn bump_trace(&mut self, pfn: Pfn, epoch: u32) {
         let d = self.get_mut(pfn);
-        d.trace_epoch = d.trace_epoch.saturating_add(1);
+        d.trace_epoch += 1;
         d.trace_total += 1;
         d.last_touched_epoch = epoch;
     }
@@ -190,6 +193,26 @@ mod tests {
         assert_eq!(d.trace_epoch, 1);
         assert_eq!(d.epoch_rank(), 3);
         assert_eq!(d.abit_total, 2);
+    }
+
+    #[test]
+    fn rank_keeps_moving_past_the_old_u32_saturation_horizon() {
+        // Regression: the epoch counters used to be u32 with
+        // `saturating_add`, so two pages that both crossed ~4.3e9
+        // observations pinned at the same rank forever — the hottest pages
+        // in the system became indistinguishable. Pre-load the counters at
+        // the old ceiling (bumping 4e9 times in a test is not viable) and
+        // check further bumps still separate them.
+        let mut t = PageDescTable::new(2);
+        t.get_mut(Pfn(0)).abit_epoch = u32::MAX as u64;
+        t.get_mut(Pfn(1)).abit_epoch = u32::MAX as u64;
+        assert_eq!(t.get(Pfn(0)).epoch_rank(), t.get(Pfn(1)).epoch_rank());
+        t.bump_abit(Pfn(1), 0);
+        assert!(
+            t.get(Pfn(1)).epoch_rank() > t.get(Pfn(0)).epoch_rank(),
+            "a bump past the old ceiling must still change the ordering"
+        );
+        assert_eq!(t.get(Pfn(1)).epoch_rank(), u32::MAX as u64 + 1);
     }
 
     #[test]

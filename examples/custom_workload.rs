@@ -100,7 +100,7 @@ fn main() {
         println!("  vpn {:#8x} ({region:<8}) rank {}", r.key.vpn.0, r.rank);
     }
 
-    let concentration = heat_concentration(report.profile.trace.values().map(|&v| v as u64), 0.10);
+    let concentration = heat_concentration(report.profile.trace.values().copied(), 0.10);
     println!(
         "\nTop 10% of sampled pages absorb {:.0}% of trace samples.",
         concentration * 100.0
