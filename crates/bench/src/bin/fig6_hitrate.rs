@@ -13,7 +13,7 @@ use tmprof_bench::scale::Scale;
 use tmprof_bench::sweep::Sweep;
 use tmprof_bench::table::{pct, Table};
 use tmprof_core::rank::RankSource;
-use tmprof_policy::hitrate::{replay_hitrate, ReplayPolicy, PAPER_RATIOS};
+use tmprof_policy::hitrate::{hitrate_grid, ReplayPolicy, PAPER_RATIOS};
 use tmprof_workloads::spec::WorkloadKind;
 
 fn main() {
@@ -45,31 +45,27 @@ fn main() {
             "History/TMP",
             "First-touch",
         ]);
-        for &denom in &PAPER_RATIOS {
-            let capacity = (footprint / denom as usize).max(1);
+        // One grid call replays the whole run: shared rank cache + worker
+        // pool inside; cell order matches the old per-cell loop exactly
+        // (Oracle × 3 sources, History × 3, First-touch, per ratio), so the
+        // CSV stays byte-identical to the seed implementation.
+        let grid = hitrate_grid(&run.log, &PAPER_RATIOS);
+        for (&denom, ratio_cells) in PAPER_RATIOS.iter().zip(grid.chunks(7)) {
             let mut row = vec![format!("1/{denom}")];
             let mut cells = std::collections::HashMap::new();
-            for policy in [ReplayPolicy::Oracle, ReplayPolicy::History] {
-                for source in RankSource::ALL {
-                    let h = replay_hitrate(&run.log, policy, source, capacity);
-                    cells.insert((policy, source), h);
-                    row.push(pct(h));
-                    csv.push_str(&format!(
-                        "{},{},{},{},{:.6}\n",
-                        kind.name(),
-                        denom,
-                        policy.label(),
-                        source.label(),
-                        h
-                    ));
-                }
+            for cell in &ratio_cells[..6] {
+                cells.insert((cell.policy, cell.source), cell.hitrate);
+                row.push(pct(cell.hitrate));
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.6}\n",
+                    kind.name(),
+                    denom,
+                    cell.policy.label(),
+                    cell.source.label(),
+                    cell.hitrate
+                ));
             }
-            let ft = replay_hitrate(
-                &run.log,
-                ReplayPolicy::FirstTouch,
-                RankSource::Combined,
-                capacity,
-            );
+            let ft = ratio_cells[6].hitrate;
             row.push(pct(ft));
             csv.push_str(&format!("{},{denom},First-touch,-,{ft:.6}\n", kind.name()));
             table.row(row);

@@ -86,6 +86,16 @@ pub const OBS_JOURNAL: Knob = Knob {
            tmprof_obs::journal; see the layering note above).",
 };
 
+/// Worker-thread cap for the parallel hitrate replay grid.
+pub const REPLAY_WORKERS: Knob = Knob {
+    name: "TMPROF_REPLAY_WORKERS",
+    default: "available parallelism",
+    accepts: "positive integer",
+    help: "Worker threads for the Fig. 6 hitrate replay grid \
+           (tmprof_policy::hitrate::hitrate_grid); 1 forces serial \
+           evaluation for debugging.",
+};
+
 /// Output directory for per-cell sweep metrics sidecars.
 pub const OBS_DIR: Knob = Knob {
     name: "TMPROF_OBS_DIR",
@@ -99,6 +109,7 @@ pub const OBS_DIR: Knob = Knob {
 pub const ALL: &[Knob] = &[
     SCALE,
     SWEEP_WORKERS,
+    REPLAY_WORKERS,
     SIM_BATCH,
     GATE_DECAY,
     OBS_JOURNAL,

@@ -56,7 +56,31 @@ pub struct EpochProfile {
 
 impl EpochProfile {
     /// Extract the current epoch's observations from the descriptor table.
+    ///
+    /// Walks only the table's dirty list — frames that actually received
+    /// observations this epoch — so epoch close costs O(touched pages)
+    /// instead of O(total frames). Equivalent to [`Self::capture_full_scan`]
+    /// (property-tested in `tests/dirty_props.rs`).
     pub fn capture(descs: &PageDescTable) -> Self {
+        let mut out = Self::default();
+        for pfn in descs.touched_frames() {
+            let d = descs.get(pfn);
+            let Some(owner) = d.owner else { continue };
+            let k = owner.pack();
+            if d.abit_epoch > 0 {
+                out.abit.insert(k, d.abit_epoch);
+            }
+            if d.trace_epoch > 0 {
+                out.trace.insert(k, d.trace_epoch);
+            }
+        }
+        out
+    }
+
+    /// Reference implementation of [`Self::capture`]: a full scan over
+    /// every owned frame. O(total frames); kept for the dirty-list
+    /// equivalence tests and as the semantic definition of a capture.
+    pub fn capture_full_scan(descs: &PageDescTable) -> Self {
         let mut out = Self::default();
         for (_pfn, d) in descs.iter_owned() {
             let Some(owner) = d.owner else { continue };
@@ -82,29 +106,63 @@ impl EpochProfile {
         }
     }
 
-    /// All pages with a nonzero rank under `source`, hottest first.
-    /// Ties are broken by page key for determinism.
-    pub fn ranked(&self, source: RankSource) -> Vec<RankedPage> {
-        let mut keys: Vec<u64> = match source {
+    /// The total order shared by [`Self::ranked`] and [`Self::top_k`]:
+    /// rank descending, ties broken by page key ascending. Total over
+    /// distinct pages, so stable and unstable sorts agree.
+    #[inline]
+    fn rank_order(a: &RankedPage, b: &RankedPage) -> std::cmp::Ordering {
+        b.rank.cmp(&a.rank).then(a.key.pack().cmp(&b.key.pack()))
+    }
+
+    /// All pages with a nonzero rank under `source`, in arbitrary order
+    /// (deduplicated; callers impose the total order).
+    fn entries(&self, source: RankSource) -> Vec<RankedPage> {
+        let keys: Vec<u64> = match source {
             RankSource::ABit => self.abit.keys().copied().collect(),
             RankSource::Trace => self.trace.keys().copied().collect(),
             RankSource::Combined => {
+                // The pre-sort exists only to dedup the two-source union;
+                // the single-source branches need no sort at all (the
+                // caller's total order makes the output deterministic).
                 let mut k: Vec<u64> = self.abit.keys().chain(self.trace.keys()).copied().collect();
                 k.sort_unstable();
                 k.dedup();
                 k
             }
         };
-        keys.sort_unstable();
-        let mut out: Vec<RankedPage> = keys
-            .into_iter()
+        keys.into_iter()
             .map(|k| RankedPage {
                 key: PageKey::unpack(k),
                 rank: self.rank_of(k, source),
             })
             .filter(|r| r.rank > 0)
-            .collect();
-        out.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.key.pack().cmp(&b.key.pack())));
+            .collect()
+    }
+
+    /// All pages with a nonzero rank under `source`, hottest first.
+    /// Ties are broken by page key for determinism. This is the reference
+    /// ranking; [`Self::top_k`] must agree with its prefix.
+    pub fn ranked(&self, source: RankSource) -> Vec<RankedPage> {
+        let mut out = self.entries(source);
+        out.sort_unstable_by(Self::rank_order);
+        out
+    }
+
+    /// The `k` hottest pages under `source`, hottest first — exactly
+    /// `self.ranked(source).truncate(k)`, computed with partial selection:
+    /// O(n + k log k) instead of O(n log n). This is the policy-facing
+    /// fast path ("selection proportional to *selected* pages"): capacity
+    /// is typically a small fraction of the profiled population.
+    pub fn top_k(&self, source: RankSource, k: usize) -> Vec<RankedPage> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut out = self.entries(source);
+        if k < out.len() {
+            out.select_nth_unstable_by(k - 1, Self::rank_order);
+            out.truncate(k);
+        }
+        out.sort_unstable_by(Self::rank_order);
         out
     }
 

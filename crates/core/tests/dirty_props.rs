@@ -1,0 +1,155 @@
+//! Property tests for the dirty-list epoch-close fast path.
+//!
+//! [`EpochProfile::capture`] walks only the descriptor table's dirty-PFN
+//! list; [`EpochProfile::capture_full_scan`] walks every owned frame. The
+//! invariant — every frame with a nonzero per-epoch counter is on the
+//! dirty list — must survive arbitrary interleavings of observation bumps,
+//! owner (re)assignment, page migration, and epoch horizons. These tests
+//! drive the table through random op sequences and demand the two capture
+//! paths agree exactly at every horizon and at the end.
+
+use proptest::prelude::*;
+
+use tmprof_core::rank::EpochProfile;
+use tmprof_sim::addr::{Pfn, Vpn};
+use tmprof_sim::pagedesc::{PageDescTable, PageKey};
+
+const FRAMES: u64 = 24;
+
+/// One operation against the descriptor table.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Assign (or reassign) a frame's owning logical page.
+    SetOwner { pfn: u64, pid: u16, vpn: u64 },
+    /// A-bit observation.
+    BumpAbit { pfn: u64 },
+    /// Trace (IBS/PEBS) sample.
+    BumpTrace { pfn: u64 },
+    /// Page migration: stats and owner move from one frame to another.
+    Migrate { from: u64, to: u64 },
+    /// Epoch horizon: reset per-epoch counters.
+    ResetEpoch,
+}
+
+fn arbitrary_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => (0u64..FRAMES, 1u16..4, 0u64..48)
+            .prop_map(|(pfn, pid, vpn)| Op::SetOwner { pfn, pid, vpn }),
+        4 => (0u64..FRAMES).prop_map(|pfn| Op::BumpAbit { pfn }),
+        4 => (0u64..FRAMES).prop_map(|pfn| Op::BumpTrace { pfn }),
+        2 => (0u64..FRAMES, 0u64..FRAMES).prop_map(|(from, to)| Op::Migrate { from, to }),
+        1 => Just(Op::ResetEpoch),
+    ]
+}
+
+fn apply(t: &mut PageDescTable, op: Op, epoch: &mut u32) {
+    match op {
+        Op::SetOwner { pfn, pid, vpn } => t.set_owner(
+            Pfn(pfn),
+            PageKey {
+                pid: pid as tmprof_sim::tlb::Pid,
+                vpn: Vpn(vpn),
+            },
+        ),
+        Op::BumpAbit { pfn } => t.bump_abit(Pfn(pfn), *epoch),
+        Op::BumpTrace { pfn } => t.bump_trace(Pfn(pfn), *epoch),
+        Op::Migrate { from, to } => {
+            if from != to {
+                t.migrate(Pfn(from), Pfn(to));
+            }
+        }
+        Op::ResetEpoch => {
+            t.reset_epoch();
+            *epoch += 1;
+        }
+    }
+}
+
+fn assert_captures_agree(t: &PageDescTable) {
+    let fast = EpochProfile::capture(t);
+    let full = EpochProfile::capture_full_scan(t);
+    assert_eq!(fast.abit, full.abit, "abit capture diverged");
+    assert_eq!(fast.trace, full.trace, "trace capture diverged");
+}
+
+proptest! {
+    #[test]
+    fn dirty_capture_equals_full_scan(ops in prop::collection::vec(arbitrary_op(), 0..120)) {
+        let mut t = PageDescTable::new(FRAMES);
+        let mut epoch = 0u32;
+        for op in ops {
+            // Check at every horizon, not just the end: a stale dirty list
+            // would poison the *next* epoch's capture.
+            let horizon = matches!(op, Op::ResetEpoch);
+            apply(&mut t, op, &mut epoch);
+            if horizon {
+                assert_captures_agree(&t);
+                prop_assert!(t.touched_frames().is_empty(), "horizon left touched frames");
+            }
+        }
+        assert_captures_agree(&t);
+    }
+
+    #[test]
+    fn dirty_capture_survives_owner_reassignment_between_epochs(
+        bumps in prop::collection::vec((0u64..FRAMES, 0u64..FRAMES), 1..40),
+        reassign in prop::collection::vec((0u64..FRAMES, 1u16..4, 0u64..48), 1..16),
+    ) {
+        // Epoch 0: observe, close. Epoch 1: reassign owners (frame reuse
+        // after free/alloc), observe again. The dirty list from epoch 0
+        // must not leak stale frames into epoch 1's capture.
+        let mut t = PageDescTable::new(FRAMES);
+        for (i, &(a, b)) in bumps.iter().enumerate() {
+            t.set_owner(Pfn(a), PageKey { pid: 1, vpn: Vpn(a) });
+            t.bump_abit(Pfn(a), 0);
+            if i % 2 == 0 {
+                t.bump_trace(Pfn(b), 0);
+            }
+        }
+        assert_captures_agree(&t);
+        t.reset_epoch();
+        for &(pfn, pid, vpn) in &reassign {
+            t.set_owner(
+                Pfn(pfn),
+                PageKey {
+                    pid: pid as tmprof_sim::tlb::Pid,
+                    vpn: Vpn(vpn),
+                },
+            );
+        }
+        for &(a, _) in &bumps {
+            t.bump_trace(Pfn(a), 1);
+        }
+        assert_captures_agree(&t);
+        let p = EpochProfile::capture(&t);
+        prop_assert!(p.abit.is_empty(), "epoch-0 A-bit counts leaked past the horizon");
+    }
+
+    #[test]
+    fn migration_chains_preserve_capture_equivalence(
+        hops in prop::collection::vec((0u64..FRAMES, 0u64..FRAMES), 1..30),
+    ) {
+        // A page's stats hop across frames mid-epoch; every intermediate
+        // frame leaves a stale dirty entry behind and capture must still
+        // agree with the full scan.
+        let mut t = PageDescTable::new(FRAMES);
+        t.set_owner(Pfn(0), PageKey { pid: 2, vpn: Vpn(7) });
+        t.bump_abit(Pfn(0), 0);
+        t.bump_trace(Pfn(0), 0);
+        let mut cur = 0u64;
+        for &(nudge, extra) in &hops {
+            let dst = nudge;
+            if dst != cur {
+                t.migrate(Pfn(cur), Pfn(dst));
+                cur = dst;
+            }
+            t.bump_abit(Pfn(cur), 0);
+            // Unrelated traffic on another frame, owned or not.
+            t.bump_trace(Pfn(extra), 0);
+        }
+        assert_captures_agree(&t);
+        t.reset_epoch();
+        assert_captures_agree(&t);
+        prop_assert!(t.touched_frames().is_empty());
+    }
+}

@@ -46,6 +46,18 @@ proptest! {
     }
 
     #[test]
+    fn top_k_is_exactly_the_ranked_prefix(profile in arbitrary_profile(), k in 0usize..80) {
+        // The partial-selection fast path must agree with the reference
+        // ranking element-for-element (same (rank desc, key asc) order),
+        // including at k = 0, k beyond the population, and on ties.
+        for source in RankSource::ALL {
+            let full = profile.ranked(source);
+            let top = profile.top_k(source, k);
+            prop_assert_eq!(&top[..], &full[..k.min(full.len())], "{:?} k={}", source, k);
+        }
+    }
+
+    #[test]
     fn combined_ranking_contains_both_sources(profile in arbitrary_profile()) {
         let combined_len = profile.ranked(RankSource::Combined).len();
         let abit_len = profile.ranked(RankSource::ABit).len();

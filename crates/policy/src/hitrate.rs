@@ -75,11 +75,12 @@ impl ReplayPolicy {
 }
 
 /// Select the top-`capacity` pages from `profile` under `source`.
+/// Partial selection via [`EpochProfile::top_k`]; agrees with
+/// `ranked().take(capacity)` by construction (property-tested).
 fn top_pages(profile: &EpochProfile, source: RankSource, capacity: usize) -> KeySet<u64> {
     profile
-        .ranked(source)
+        .top_k(source, capacity)
         .into_iter()
-        .take(capacity)
         .map(|r| r.key.pack())
         .collect()
 }
@@ -105,17 +106,24 @@ pub fn replay_hitrate(
         .copied()
         .collect();
     for (i, epoch) in log.epochs.iter().enumerate() {
-        let resident: KeySet<u64> = match policy {
-            ReplayPolicy::Oracle => top_pages(&epoch.profile, source, capacity),
+        // Borrow the static first-touch set instead of cloning it per epoch;
+        // `scratch` holds per-epoch top-K sets alive for the borrow.
+        let scratch: KeySet<u64>;
+        let resident: &KeySet<u64> = match policy {
+            ReplayPolicy::Oracle => {
+                scratch = top_pages(&epoch.profile, source, capacity);
+                &scratch
+            }
             ReplayPolicy::History => {
                 if i == 0 {
                     // No history yet: first-touch placement for epoch 0.
-                    first_touch_set.clone()
+                    &first_touch_set
                 } else {
-                    top_pages(&log.epochs[i - 1].profile, source, capacity)
+                    scratch = top_pages(&log.epochs[i - 1].profile, source, capacity);
+                    &scratch
                 }
             }
-            ReplayPolicy::FirstTouch => first_touch_set.clone(),
+            ReplayPolicy::FirstTouch => &first_touch_set,
         };
         for (&page, &accesses) in &epoch.truth_mem {
             total += accesses;
@@ -141,36 +149,215 @@ pub struct HitrateCell {
     pub hitrate: f64,
 }
 
-/// Sweep the full Fig. 6 grid over a recorded run: policies × sources ×
-/// capacity ratios (1/8 … 1/128 by default).
-pub fn hitrate_grid(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
-    let footprint = log.footprint_pages().max(1);
-    let mut out = Vec::new();
+/// Environment variable overriding the replay worker-thread count
+/// (registered as [`tmprof_core::knobs::REPLAY_WORKERS`]).
+pub const WORKERS_ENV: &str = tmprof_core::knobs::REPLAY_WORKERS.name;
+
+/// Dense source index for per-epoch cache arrays.
+#[inline]
+fn src_idx(source: RankSource) -> usize {
+    match source {
+        RankSource::ABit => 0,
+        RankSource::Trace => 1,
+        RankSource::Combined => 2,
+    }
+}
+
+/// Shared per-run rank cache: every grid cell at (epoch, source) consults
+/// the same top-K ordering, just truncated at a different capacity — Oracle
+/// and History are the same sets offset by one epoch. So rank each epoch's
+/// profile exactly once at the sweep's *largest* capacity and store each
+/// page's position; a cell at capacity `c` tests `position < c`.
+struct RankCache {
+    /// `positions[epoch][src_idx(source)]`: packed key → 0-based position
+    /// in the (rank desc, key asc) order, present for the top
+    /// `max_capacity` pages only.
+    positions: Vec<[KeyMap<u64, u32>; 3]>,
+    /// Packed key → first-occurrence index in first-touch order; membership
+    /// of `first_touch_order.take(c)` is `position < c`.
+    first_touch_pos: KeyMap<u64, u32>,
+}
+
+impl RankCache {
+    fn build(log: &ReplayLog, max_capacity: usize) -> Self {
+        let positions = log
+            .epochs
+            .iter()
+            .map(|e| {
+                RankSource::ALL.map(|s| {
+                    e.profile
+                        .top_k(s, max_capacity)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| (r.key.pack(), i as u32))
+                        .collect()
+                })
+            })
+            .collect();
+        let mut first_touch_pos = KeyMap::default();
+        for (i, &key) in log.first_touch_order.iter().enumerate() {
+            first_touch_pos.entry(key).or_insert(i as u32);
+        }
+        Self {
+            positions,
+            first_touch_pos,
+        }
+    }
+
+    /// One cell against the cache. Float-identical to [`replay_hitrate`]:
+    /// hits/total accumulate as `u64` (order-independent) and the hitrate
+    /// is the same single `f64` division.
+    fn hitrate(
+        &self,
+        log: &ReplayLog,
+        policy: ReplayPolicy,
+        source: RankSource,
+        capacity: usize,
+    ) -> f64 {
+        let si = src_idx(source);
+        let mut hits: u64 = 0;
+        let mut total: u64 = 0;
+        for (i, epoch) in log.epochs.iter().enumerate() {
+            let resident: &KeyMap<u64, u32> = match policy {
+                ReplayPolicy::Oracle => &self.positions[i][si],
+                ReplayPolicy::History if i == 0 => &self.first_touch_pos,
+                ReplayPolicy::History => &self.positions[i - 1][si],
+                ReplayPolicy::FirstTouch => &self.first_touch_pos,
+            };
+            for (&page, &accesses) in &epoch.truth_mem {
+                total += accesses;
+                if resident
+                    .get(&page)
+                    .is_some_and(|&pos| (pos as usize) < capacity)
+                {
+                    hits += accesses;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The grid's cell schedule, in the canonical (serial) emission order.
+fn grid_cells(
+    footprint: usize,
+    ratio_denominators: &[u32],
+) -> Vec<(ReplayPolicy, RankSource, u32, usize)> {
+    let mut cells = Vec::new();
     for &denom in ratio_denominators {
         let capacity = (footprint / denom as usize).max(1);
         for policy in [ReplayPolicy::Oracle, ReplayPolicy::History] {
             for source in RankSource::ALL {
-                out.push(HitrateCell {
-                    policy,
-                    source,
-                    ratio_denominator: denom,
-                    hitrate: replay_hitrate(log, policy, source, capacity),
-                });
+                cells.push((policy, source, denom, capacity));
             }
         }
-        out.push(HitrateCell {
-            policy: ReplayPolicy::FirstTouch,
-            source: RankSource::Combined,
-            ratio_denominator: denom,
-            hitrate: replay_hitrate(
-                log,
-                ReplayPolicy::FirstTouch,
-                RankSource::Combined,
-                capacity,
-            ),
-        });
+        cells.push((
+            ReplayPolicy::FirstTouch,
+            RankSource::Combined,
+            denom,
+            capacity,
+        ));
     }
-    out
+    cells
+}
+
+/// Sweep the full Fig. 6 grid over a recorded run: policies × sources ×
+/// capacity ratios (1/8 … 1/128 by default).
+///
+/// Each epoch's profile is ranked once (see [`RankCache`]) and cells fan
+/// out over a worker pool sized by `TMPROF_REPLAY_WORKERS` (default:
+/// available parallelism). Output order and every float are identical to
+/// [`hitrate_grid_serial`], the seed reference implementation
+/// (property-tested in `tests/props.rs`).
+pub fn hitrate_grid(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
+    hitrate_grid_with_workers(log, ratio_denominators, None)
+}
+
+/// [`hitrate_grid`] with an explicit worker cap (`None` defers to the
+/// `TMPROF_REPLAY_WORKERS` knob, then to available parallelism).
+pub fn hitrate_grid_with_workers(
+    log: &ReplayLog,
+    ratio_denominators: &[u32],
+    workers: Option<usize>,
+) -> Vec<HitrateCell> {
+    let footprint = log.footprint_pages().max(1);
+    let cells = grid_cells(footprint, ratio_denominators);
+    let max_capacity = cells.iter().map(|c| c.3).max().unwrap_or(1);
+    let cache = RankCache::build(log, max_capacity);
+
+    let n = cells.len();
+    let configured = workers.or_else(|| {
+        tmprof_core::knobs::REPLAY_WORKERS
+            .get_u64()
+            .map(|w| w as usize)
+    });
+    let hw = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let workers = configured.unwrap_or(hw).min(n).max(1);
+
+    let mut rates: Vec<f64> = vec![0.0; n];
+    if workers == 1 {
+        for (slot, &(policy, source, _, capacity)) in rates.iter_mut().zip(&cells) {
+            *slot = cache.hitrate(log, policy, source, capacity);
+        }
+    } else {
+        // Same pull-from-a-shared-queue pattern as `bench::sweep` (which
+        // lives above this crate, so the pool is replicated, not reused):
+        // deterministic result order comes from indexing slots by cell,
+        // not by completion.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let slots: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (policy, source, _, capacity) = cells[i];
+                    let h = cache.hitrate(log, policy, source, capacity);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = h;
+                });
+            }
+        });
+        for (slot, cell) in rates.iter_mut().zip(slots) {
+            *slot = cell.into_inner().unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    cells
+        .into_iter()
+        .zip(rates)
+        .map(|((policy, source, denom, _), hitrate)| HitrateCell {
+            policy,
+            source,
+            ratio_denominator: denom,
+            hitrate,
+        })
+        .collect()
+}
+
+/// The seed's serial grid: one [`replay_hitrate`] call per cell, no cache,
+/// no pool. Kept as the reference implementation the cached/parallel
+/// [`hitrate_grid`] is verified against (proptest + CI grid-identity check).
+pub fn hitrate_grid_serial(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
+    let footprint = log.footprint_pages().max(1);
+    grid_cells(footprint, ratio_denominators)
+        .into_iter()
+        .map(|(policy, source, denom, capacity)| HitrateCell {
+            policy,
+            source,
+            ratio_denominator: denom,
+            hitrate: replay_hitrate(log, policy, source, capacity),
+        })
+        .collect()
 }
 
 /// The paper's capacity sweep.
@@ -285,6 +472,53 @@ mod tests {
         assert_eq!(grid.len(), 5 * 7);
         for cell in &grid {
             assert!((0.0..=1.0).contains(&cell.hitrate));
+        }
+    }
+
+    #[test]
+    fn cached_parallel_grid_matches_serial_reference() {
+        let log = rotating_log(6);
+        let serial = hitrate_grid_serial(&log, &PAPER_RATIOS);
+        for workers in [1, 4] {
+            let fast = hitrate_grid_with_workers(&log, &PAPER_RATIOS, Some(workers));
+            assert_eq!(serial.len(), fast.len());
+            for (a, b) in serial.iter().zip(&fast) {
+                assert_eq!(a.policy, b.policy);
+                assert_eq!(a.source, b.source);
+                assert_eq!(a.ratio_denominator, b.ratio_denominator);
+                assert_eq!(
+                    a.hitrate.to_bits(),
+                    b.hitrate.to_bits(),
+                    "{:?}/{:?}/{} drifted at {workers} workers",
+                    a.policy,
+                    a.source,
+                    a.ratio_denominator
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_touch_duplicates_do_not_inflate_capacity() {
+        // A duplicated first-touch entry consumes a take(capacity) slot in
+        // the reference; the cache's first-occurrence positions must agree.
+        let mut log = rotating_log(3);
+        log.first_touch_order = vec![key(0), key(0), key(99)];
+        for capacity in 1..=3 {
+            let serial = replay_hitrate(
+                &log,
+                ReplayPolicy::FirstTouch,
+                RankSource::Combined,
+                capacity,
+            );
+            let cache = RankCache::build(&log, capacity);
+            let cached = cache.hitrate(
+                &log,
+                ReplayPolicy::FirstTouch,
+                RankSource::Combined,
+                capacity,
+            );
+            assert_eq!(serial.to_bits(), cached.to_bits(), "capacity {capacity}");
         }
     }
 

@@ -59,11 +59,12 @@ impl PlacementPolicy for HistoryPolicy {
     }
 
     fn select(&mut self, closed_epoch: &EpochProfile, capacity: usize) -> Placement {
-        let ranked = closed_epoch.ranked(self.source);
+        // Partial selection: capacity is typically a small fraction of the
+        // profiled population, so avoid the full O(n log n) sort.
         Placement {
-            tier1_pages: ranked
+            tier1_pages: closed_epoch
+                .top_k(self.source, capacity)
                 .into_iter()
-                .take(capacity)
                 .map(|r| r.key.pack())
                 .collect(),
         }

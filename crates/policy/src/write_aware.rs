@@ -75,9 +75,19 @@ impl PlacementPolicy for WriteAwarePolicy {
             .map(|k| (k, self.score(k, closed_epoch)))
             .filter(|&(_, s)| s > 0)
             .collect();
-        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Partial selection on the (score desc, key asc) total order:
+        // only the nominated prefix needs sorting, not every candidate.
+        let cmp = |a: &(u64, u64), b: &(u64, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        if capacity == 0 {
+            return Placement::default();
+        }
+        if capacity < scored.len() {
+            scored.select_nth_unstable_by(capacity - 1, cmp);
+            scored.truncate(capacity);
+        }
+        scored.sort_unstable_by(cmp);
         Placement {
-            tier1_pages: scored.into_iter().take(capacity).map(|(k, _)| k).collect(),
+            tier1_pages: scored.into_iter().map(|(k, _)| k).collect(),
         }
     }
 }

@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 
 use tmprof_core::rank::{EpochProfile, RankSource};
-use tmprof_policy::hitrate::{replay_hitrate, ReplayEpoch, ReplayLog, ReplayPolicy};
+use tmprof_policy::hitrate::{
+    hitrate_grid_serial, hitrate_grid_with_workers, replay_hitrate, ReplayEpoch, ReplayLog,
+    ReplayPolicy, PAPER_RATIOS,
+};
 use tmprof_policy::policies::{HistoryPolicy, PlacementPolicy};
 
 fn arbitrary_log() -> impl Strategy<Value = ReplayLog> {
@@ -119,6 +122,30 @@ proptest! {
         let a = replay_hitrate(&log, ReplayPolicy::FirstTouch, RankSource::ABit, capacity);
         let b = replay_hitrate(&log, ReplayPolicy::FirstTouch, RankSource::Combined, capacity);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_parallel_grid_is_float_identical_to_serial(log in arbitrary_log()) {
+        // The tentpole contract: the rank-cached, worker-pooled grid must
+        // reproduce the seed's per-cell serial evaluation bit-for-bit
+        // (u64 hit/total accumulation + one division ⇒ no float drift),
+        // at any worker count.
+        let serial = hitrate_grid_serial(&log, &PAPER_RATIOS);
+        for workers in [1usize, 4] {
+            let fast = hitrate_grid_with_workers(&log, &PAPER_RATIOS, Some(workers));
+            prop_assert_eq!(serial.len(), fast.len());
+            for (a, b) in serial.iter().zip(&fast) {
+                prop_assert_eq!(a.policy, b.policy);
+                prop_assert_eq!(a.source, b.source);
+                prop_assert_eq!(a.ratio_denominator, b.ratio_denominator);
+                prop_assert_eq!(
+                    a.hitrate.to_bits(),
+                    b.hitrate.to_bits(),
+                    "{:?}/{:?}/1:{} drifted at {} workers ({} vs {})",
+                    a.policy, a.source, a.ratio_denominator, workers, a.hitrate, b.hitrate
+                );
+            }
+        }
     }
 
     #[test]

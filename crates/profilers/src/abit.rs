@@ -178,16 +178,28 @@ impl ABitScanner {
             self.cursors.get(&pid).copied().unwrap_or(Vpn(0))
         };
         let record = self.cfg.record_samples;
+        let shootdown = self.cfg.shootdown;
 
-        let mut observed: Vec<(Vpn, tmprof_sim::addr::Pfn)> = Vec::new();
+        // Everything an observation feeds — packed key, optional heat
+        // point, optional shootdown VPN — is produced in the walk closure's
+        // single pass; no intermediate (vpn, pfn) staging Vec.
+        let mut keys: Vec<u64> = Vec::new();
+        let mut vpns: Vec<Vpn> = Vec::new();
         let Some((pt, descs, epoch)) = machine.scan_parts(pid) else {
             return;
         };
+        let heat = &mut self.heat;
         let (fp, resume) = pt.walk_present_bounded(start, budget, |vpn, pte| {
             if pte.test_and_clear_accessed() {
                 let pfn = pte.pfn();
                 descs.bump_abit(pfn, epoch);
-                observed.push((vpn, pfn));
+                keys.push(PageKey { pid, vpn }.pack());
+                if record {
+                    heat.push(AbitHeatPoint { epoch, pfn });
+                }
+                if shootdown {
+                    vpns.push(vpn);
+                }
             }
         });
         // Wrap the cursor when the walk reaches the end of the table. If
@@ -195,16 +207,9 @@ impl ABitScanner {
         // from the top anyway.
         self.cursors.insert(pid, resume.unwrap_or(Vpn(0)));
 
-        let mut batch: Vec<u64> = Vec::with_capacity(observed.len());
-        for &(vpn, pfn) in &observed {
-            let key = PageKey { pid, vpn };
-            batch.push(key.pack());
-            if record {
-                self.heat.push(AbitHeatPoint { epoch, pfn });
-            }
-        }
-        self.epoch_pages.extend_from_slice(&batch);
-        self.seen_pages.merge_unsorted(batch);
+        let observations = keys.len() as u64;
+        self.epoch_pages.extend_from_slice(&keys);
+        self.seen_pages.merge_unsorted(keys);
 
         // Cost model: proportional to PTEs traversed (Table I), charged to
         // the core the scanning kthread happens to run on.
@@ -215,13 +220,12 @@ impl ABitScanner {
 
         self.stats.scans += 1;
         self.stats.ptes_visited += fp.ptes_visited;
-        self.stats.observations += observed.len() as u64;
+        self.stats.observations += observations;
         self.stats.overhead_cycles += cost;
         tmprof_obs::metrics::add(Metric::AbitPtesScanned, fp.ptes_visited);
-        tmprof_obs::metrics::add(Metric::AbitObservations, observed.len() as u64);
+        tmprof_obs::metrics::add(Metric::AbitObservations, observations);
 
-        if self.cfg.shootdown && !observed.is_empty() {
-            let vpns: Vec<Vpn> = observed.iter().map(|&(v, _)| v).collect();
+        if !vpns.is_empty() {
             let charged = machine.shootdown(pid, &vpns, true);
             self.stats.shootdowns += 1;
             self.stats.overhead_cycles += charged;

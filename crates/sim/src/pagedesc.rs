@@ -77,6 +77,17 @@ impl PageDesc {
 /// The machine-wide descriptor array (`mem_map` analogue).
 pub struct PageDescTable {
     descs: Vec<PageDesc>,
+    /// Frames that gained per-epoch observations since the last horizon
+    /// (the epoch-close "dirty list"). Maintained by [`Self::bump_abit`],
+    /// [`Self::bump_trace`] and [`Self::migrate`] so that profile capture
+    /// and the epoch reset touch only observed frames instead of walking
+    /// every descriptor. May contain stale entries (a frame whose stats
+    /// migrated away) and, after migration, duplicates; consumers filter
+    /// on the counters and deduplicate. Invariant: every frame with a
+    /// nonzero per-epoch counter is present. Code that writes the epoch
+    /// counters directly through [`Self::get_mut`] (tests only) bypasses
+    /// the list and must not rely on dirty-list-based capture/reset.
+    dirty: Vec<Pfn>,
 }
 
 impl PageDescTable {
@@ -84,6 +95,7 @@ impl PageDescTable {
     pub fn new(total_frames: u64) -> Self {
         Self {
             descs: vec![PageDesc::default(); total_frames as usize],
+            dirty: Vec::new(),
         }
     }
 
@@ -117,33 +129,69 @@ impl PageDescTable {
     /// Record an A-bit observation against a frame.
     #[inline]
     pub fn bump_abit(&mut self, pfn: Pfn, epoch: u32) {
-        let d = self.get_mut(pfn);
+        let d = &mut self.descs[pfn.0 as usize];
+        let first_this_epoch = d.abit_epoch == 0 && d.trace_epoch == 0;
         d.abit_epoch += 1;
         d.abit_total += 1;
         d.last_touched_epoch = epoch;
+        if first_this_epoch {
+            self.dirty.push(pfn);
+        }
     }
 
     /// Record a trace sample against a frame.
     #[inline]
     pub fn bump_trace(&mut self, pfn: Pfn, epoch: u32) {
-        let d = self.get_mut(pfn);
+        let d = &mut self.descs[pfn.0 as usize];
+        let first_this_epoch = d.abit_epoch == 0 && d.trace_epoch == 0;
         d.trace_epoch += 1;
         d.trace_total += 1;
         d.last_touched_epoch = epoch;
+        if first_this_epoch {
+            self.dirty.push(pfn);
+        }
     }
 
     /// Move a page's descriptor state from `from` to `to` (page migration
     /// carries the accumulated statistics with the data).
     pub fn migrate(&mut self, from: Pfn, to: Pfn) {
         let src = std::mem::take(self.get_mut(from));
+        let observed = src.abit_epoch > 0 || src.trace_epoch > 0;
         *self.get_mut(to) = src;
+        // The stats moved with the page: the destination frame must be on
+        // the dirty list. `from`'s entry goes stale (its counters are now
+        // zero) and is filtered out at capture/reset time.
+        if observed {
+            self.dirty.push(to);
+        }
     }
 
-    /// Reset per-epoch counters on every descriptor (epoch horizon).
+    /// Reset per-epoch counters (epoch horizon). Walks only the dirty
+    /// list — O(touched pages), not O(total frames).
     pub fn reset_epoch(&mut self) {
-        for d in &mut self.descs {
-            d.reset_epoch();
+        for &pfn in &self.dirty {
+            self.descs[pfn.0 as usize].reset_epoch();
         }
+        self.dirty.clear();
+    }
+
+    /// Frames with per-epoch observations, ascending and deduplicated
+    /// (the dirty list with stale and duplicate entries filtered out).
+    /// Iterating this is equivalent to a full-table scan for any consumer
+    /// that only looks at frames with nonzero epoch counters.
+    pub fn touched_frames(&self) -> Vec<Pfn> {
+        let mut v: Vec<Pfn> = self
+            .dirty
+            .iter()
+            .copied()
+            .filter(|&pfn| {
+                let d = &self.descs[pfn.0 as usize];
+                d.abit_epoch > 0 || d.trace_epoch > 0
+            })
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
     }
 
     /// Iterate over (frame, descriptor) pairs with a live owner.
@@ -260,5 +308,53 @@ mod tests {
         );
         let frames: Vec<Pfn> = t.iter_owned().map(|(p, _)| p).collect();
         assert_eq!(frames, vec![Pfn(1), Pfn(5)]);
+    }
+
+    #[test]
+    fn touched_frames_covers_exactly_the_observed_frames() {
+        let mut t = PageDescTable::new(16);
+        t.bump_abit(Pfn(3), 0);
+        t.bump_abit(Pfn(3), 0); // second bump must not duplicate
+        t.bump_trace(Pfn(7), 0);
+        t.bump_trace(Pfn(1), 0);
+        assert_eq!(t.touched_frames(), vec![Pfn(1), Pfn(3), Pfn(7)]);
+        t.reset_epoch();
+        assert!(t.touched_frames().is_empty());
+        // Counters actually cleared, and fresh bumps repopulate the list.
+        assert_eq!(t.get(Pfn(3)).abit_epoch, 0);
+        t.bump_trace(Pfn(3), 1);
+        assert_eq!(t.touched_frames(), vec![Pfn(3)]);
+    }
+
+    #[test]
+    fn migrate_keeps_the_dirty_list_consistent() {
+        let mut t = PageDescTable::new(8);
+        let key = PageKey {
+            pid: 1,
+            vpn: Vpn(4),
+        };
+        t.set_owner(Pfn(2), key);
+        t.bump_abit(Pfn(2), 0);
+        t.migrate(Pfn(2), Pfn(6));
+        // The stats moved: the destination is touched, the source is stale.
+        assert_eq!(t.touched_frames(), vec![Pfn(6)]);
+        t.reset_epoch();
+        assert_eq!(t.get(Pfn(6)).abit_epoch, 0);
+        assert_eq!(t.get(Pfn(6)).abit_total, 1, "totals survive the horizon");
+        assert!(t.touched_frames().is_empty());
+    }
+
+    #[test]
+    fn reset_epoch_via_dirty_list_matches_full_reset() {
+        let mut t = PageDescTable::new(64);
+        for pfn in [0u64, 5, 9, 31, 63] {
+            t.bump_abit(Pfn(pfn), 0);
+            t.bump_trace(Pfn(pfn), 0);
+        }
+        t.reset_epoch();
+        for d in &t.descs {
+            assert_eq!(d.abit_epoch, 0);
+            assert_eq!(d.trace_epoch, 0);
+        }
     }
 }
