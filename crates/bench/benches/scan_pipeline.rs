@@ -1,0 +1,106 @@
+//! Microbenchmarks for the two host-side hot paths reworked by the
+//! packed-scan + overlapped-epoch-close PR. Cell names are stable across
+//! the seed and the reworked tree so the interleaved A/B harness
+//! (EXPERIMENTS.md) can compare them directly:
+//!
+//! * `scan/*` — one full budgeted A-bit scan cycle over a large mapped
+//!   region with a small hot set: the word-wise packed scan skips idle
+//!   64-PTE words with two loads, where the scalar reference branches on
+//!   every present PTE. (Simulated cost is identical by design; the win
+//!   is host wall-clock.)
+//! * `quantum/*` — a full harness epoch loop with the epoch close inline
+//!   (`serial`) vs overlapped with the next quantum (`pipelined`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use tmprof_bench::harness::{run_workload, RunOptions};
+use tmprof_bench::scale::Scale;
+use tmprof_profilers::abit::{ABitConfig, ABitScanner};
+use tmprof_sim::addr::{Pfn, Vpn};
+use tmprof_sim::machine::{Machine, MachineConfig};
+use tmprof_sim::pte::{bits, Pte};
+use tmprof_sim::rng::Rng;
+use tmprof_workloads::spec::WorkloadKind;
+
+const MAPPED_PAGES: u64 = 1 << 16; // 64k PTEs = 128 leaf tables
+const HOT_PAGES: u64 = 512;
+
+/// A machine whose single process maps a large contiguous region with a
+/// small random hot set carrying A bits — the footprint shape that makes
+/// Table IV's restrictive mode necessary.
+fn scan_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::scaled(2, MAPPED_PAGES * 2, 0, 1 << 20));
+    m.add_process(1);
+    let (pt, _, _) = m.scan_parts(1).expect("pid 1 exists");
+    for v in 0..MAPPED_PAGES {
+        pt.map(Vpn(v), Pte::new(Pfn(v), true));
+    }
+    let mut rng = Rng::new(3);
+    for _ in 0..HOT_PAGES {
+        if let Some(pte) = pt.entry_mut(Vpn(rng.below(MAPPED_PAGES))) {
+            pte.set(bits::A);
+        }
+    }
+    m
+}
+
+/// One full cursor cycle: budgeted scans until the cursor wraps.
+fn full_scan_cycle(m: &mut Machine, packed: bool) -> u64 {
+    let mut sc = ABitScanner::new(ABitConfig::default().with_budget(8192));
+    for _ in 0..MAPPED_PAGES.div_ceil(8192) {
+        if packed {
+            sc.scan_process(m, 1);
+        } else {
+            sc.scan_process_scalar(m, 1);
+        }
+    }
+    sc.stats().observations
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan");
+    group.sample_size(20);
+    group.bench_function("packed_64k_mapped_512_hot", |b| {
+        b.iter_batched(
+            scan_machine,
+            |mut m| black_box(full_scan_cycle(&mut m, true)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("scalar_64k_mapped_512_hot", |b| {
+        b.iter_batched(
+            scan_machine,
+            |mut m| black_box(full_scan_cycle(&mut m, false)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_quantum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantum");
+    group.sample_size(10);
+    let opts = RunOptions::new(Scale::quick()).dense();
+    group.bench_function("serial_close", |b| {
+        b.iter(|| {
+            black_box(
+                run_workload(WorkloadKind::Gups, &opts.with_pipeline(false))
+                    .detection
+                    .both,
+            )
+        });
+    });
+    group.bench_function("pipelined_close", |b| {
+        b.iter(|| {
+            black_box(
+                run_workload(WorkloadKind::Gups, &opts.with_pipeline(true))
+                    .detection
+                    .both,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_quantum);
+criterion_main!(benches);

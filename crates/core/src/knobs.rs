@@ -96,6 +96,18 @@ pub const REPLAY_WORKERS: Knob = Knob {
            evaluation for debugging.",
 };
 
+/// Overlapped epoch close: defer pure post-close analysis to a worker.
+pub const PIPELINE: Knob = Knob {
+    name: "TMPROF_PIPELINE",
+    default: "0",
+    accepts: "0 | 1",
+    help: "1 overlaps epoch close with execution: detection-set building \
+           and replay-log recording run on a single FIFO worker thread \
+           while the next quantum executes. Results are bit-identical to \
+           serial mode (the pipeline-identity suite enforces it); only \
+           wall-clock time changes.",
+};
+
 /// Output directory for per-cell sweep metrics sidecars.
 pub const OBS_DIR: Knob = Knob {
     name: "TMPROF_OBS_DIR",
@@ -112,6 +124,7 @@ pub const ALL: &[Knob] = &[
     REPLAY_WORKERS,
     SIM_BATCH,
     GATE_DECAY,
+    PIPELINE,
     OBS_JOURNAL,
     OBS_DIR,
 ];

@@ -153,3 +153,115 @@ proptest! {
         prop_assert!(t.touched_frames().is_empty());
     }
 }
+
+/// Machine-level edges around `unmap_huge` in the middle of an epoch: the
+/// 512 covered frames keep their per-epoch descriptor counts (nothing
+/// retroactively unobserves them), the capture fast path must still agree
+/// with the full scan over those now-ownerless-looking frames, and later
+/// scans of the page table must not resurrect the unmapped span.
+mod unmap_huge_mid_epoch {
+    use super::*;
+    use tmprof_sim::machine::{Machine, MachineConfig};
+    use tmprof_sim::pagetable::HUGE_SPAN;
+    use tmprof_sim::pte::{bits, Pte};
+
+    const HUGE_BASE: u64 = HUGE_SPAN; // VPN 512, PFN 512: frame-aligned run
+
+    fn machine_with_huge() -> Machine {
+        let mut m = Machine::new(MachineConfig::scaled(1, 2048, 0, 1 << 20));
+        m.add_process(1);
+        let (pt, _, _) = m.scan_parts(1).expect("pid 1 exists");
+        let mut pte = Pte::new(Pfn(HUGE_BASE), true);
+        pte.set(bits::PS | bits::A | bits::D);
+        pt.map_huge(Vpn(HUGE_BASE), pte).expect("span is free");
+        // A small-page neighbor in the previous leaf that must survive
+        // everything below.
+        let mut small = Pte::new(Pfn(7), true);
+        small.set(bits::A);
+        pt.map(Vpn(3), small);
+        m
+    }
+
+    #[test]
+    fn captures_agree_after_unmap_huge_mid_epoch() {
+        let mut m = machine_with_huge();
+        // Mid-epoch observations land on frames covered by the huge run.
+        for off in [0u64, 1, 63, 64, 511] {
+            let pfn = Pfn(HUGE_BASE + off);
+            m.descs_mut().set_owner(
+                pfn,
+                PageKey {
+                    pid: 1,
+                    vpn: Vpn(HUGE_BASE + off),
+                },
+            );
+            m.descs_mut().bump_abit(pfn, 0);
+            if off % 2 == 0 {
+                m.descs_mut().bump_trace(pfn, 0);
+            }
+        }
+        let (pt, _, _) = m.scan_parts(1).expect("pid 1 exists");
+        let old = pt.unmap_huge(Vpn(HUGE_BASE)).expect("huge entry present");
+        assert!(old.huge());
+
+        // The dirty-PFN fast path still covers every touched frame even
+        // though their translations are gone.
+        assert_captures_agree(m.descs());
+        let p = EpochProfile::capture(m.descs());
+        assert_eq!(p.abit.len(), 5, "mid-epoch observations lost by unmap");
+
+        m.descs_mut().reset_epoch();
+        assert_captures_agree(m.descs());
+        assert!(m.descs().touched_frames().is_empty());
+    }
+
+    #[test]
+    fn scans_after_unmap_huge_observe_only_surviving_pages() {
+        let mut m = machine_with_huge();
+        let (pt, _, _) = m.scan_parts(1).expect("pid 1 exists");
+        pt.unmap_huge(Vpn(HUGE_BASE)).expect("huge entry present");
+
+        // Packed and scalar scans agree that only the small neighbor is
+        // left hot — the unmapped accessed+dirty span must not leak
+        // observations out of stale candidate words.
+        let mut packed_hits = Vec::new();
+        let (fp, resume) = pt.scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                packed_hits.push(vpn);
+            }
+        });
+        assert_eq!(packed_hits, vec![Vpn(3)]);
+        assert_eq!(fp.ptes_visited, 1, "unmapped span still counted");
+        assert_eq!(resume, None);
+
+        let mut scalar_hits = Vec::new();
+        let (fp2, _) = pt.walk_present_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.accessed() {
+                scalar_hits.push(vpn);
+            }
+        });
+        // The packed pass already cleared the survivor's A bit; the walk
+        // still visits exactly the same one present PTE.
+        assert!(scalar_hits.is_empty());
+        assert_eq!(fp2.ptes_visited, 1);
+    }
+
+    #[test]
+    fn remap_after_unmap_huge_starts_clean() {
+        let mut m = machine_with_huge();
+        let (pt, _, _) = m.scan_parts(1).expect("pid 1 exists");
+        pt.unmap_huge(Vpn(HUGE_BASE)).expect("huge entry present");
+        // Frame reuse: a fresh 4 KiB mapping inside the old span must not
+        // inherit the dead run's A/D state.
+        pt.map(Vpn(HUGE_BASE + 5), Pte::new(Pfn(9), true));
+        let mut hits = Vec::new();
+        pt.scan_accessed_bounded(Vpn(HUGE_BASE), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                hits.push(vpn);
+            }
+        });
+        assert!(hits.is_empty(), "fresh mapping born accessed");
+        assert!(pt.get(Vpn(HUGE_BASE + 5)).present());
+        assert_eq!(pt.mapped_pages(), 2);
+    }
+}

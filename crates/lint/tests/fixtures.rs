@@ -53,6 +53,7 @@ fn violating_tree_attributes_findings_to_the_right_files() {
         ("crates/core/src/clock.rs", "wall-clock"),
         ("crates/policy/src/rng.rs", "ambient-rng"),
         ("crates/sim/src/machine.rs", "panic-hot-path"),
+        ("crates/sim/src/pagetable.rs", "panic-hot-path"),
         ("crates/core/src/rank.rs", "float-rank"),
         ("crates/bench/src/scale.rs", "knob-registry"),
         ("crates/sim/src/badallow.rs", "allow-directive"),

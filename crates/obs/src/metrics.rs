@@ -86,6 +86,10 @@ metrics! {
         "processes currently selected by the filter (gauge)";
     CoreEpochsClosed => "core.epochs_closed",
         "epochs closed by the TMP engine";
+    CorePipelineJobs => "core.pipeline_jobs",
+        "epoch-close jobs submitted to the pipeline (inline or deferred)";
+    CorePipelineDeferred => "core.pipeline_deferred",
+        "epoch-close jobs handed to the overlap worker thread";
     // -- policy ---------------------------------------------------------
     PolicyPagesPromoted => "policy.pages_promoted",
         "pages promoted into tier 1 by the mover";

@@ -21,10 +21,35 @@ const FANOUT: usize = 1 << RADIX_BITS;
 /// Pages covered by one level-1 (2 MiB) huge mapping.
 pub const HUGE_SPAN: u64 = FANOUT as u64;
 
+/// `u64` words per leaf table's packed bitmaps (64 pages per word).
+pub const SCAN_WORDS: usize = FANOUT / 64;
+
+/// Set or clear `bit` in `word` according to `on`, branch-free.
+#[inline]
+fn set_bit(word: &mut u64, bit: u64, on: bool) {
+    *word = (*word & !bit) | if on { bit } else { 0 };
+}
+
 /// A leaf table: 512 PTEs covering a 2 MiB-aligned virtual range.
+///
+/// Alongside the PTE array it keeps three packed bitmaps (one bit per
+/// slot, 64 slots per `u64`), the structure behind the word-wise A-bit
+/// scan:
+///
+/// * `present_words` — exact: bit set iff the slot holds a present PTE;
+/// * `a_words` / `d_words` — conservative *supersets* of the slots whose
+///   PTE has the A/D bit set. A bitmap bit may be stale-set (e.g. after
+///   `entry_mut` handed out a `&mut Pte` that the caller never touched)
+///   but is never stale-clear, so a word-wise scan over
+///   `a_words & present_words` can skip clear words without ever missing
+///   an accessed page; the per-candidate `test_and_clear_accessed` stays
+///   authoritative.
 struct LeafTable {
     ptes: Box<[Pte; FANOUT]>,
     present: u16,
+    present_words: [u64; SCAN_WORDS],
+    a_words: [u64; SCAN_WORDS],
+    d_words: [u64; SCAN_WORDS],
 }
 
 impl LeafTable {
@@ -32,8 +57,49 @@ impl LeafTable {
         Self {
             ptes: Box::new([Pte::NONE; FANOUT]),
             present: 0,
+            present_words: [0; SCAN_WORDS],
+            a_words: [0; SCAN_WORDS],
+            d_words: [0; SCAN_WORDS],
         }
     }
+
+    /// Resynchronize slot `pi`'s bitmap bits exactly from its PTE.
+    #[inline]
+    fn sync_slot(&mut self, pi: usize) {
+        let w = pi >> 6;
+        let bit = 1u64 << (pi & 63);
+        let pte = self.ptes[pi];
+        set_bit(&mut self.present_words[w], bit, pte.present());
+        set_bit(&mut self.a_words[w], bit, pte.present() && pte.accessed());
+        set_bit(&mut self.d_words[w], bit, pte.present() && pte.dirty());
+    }
+
+    /// Conservatively mark slot `pi` as a possible A/D candidate: callers
+    /// of `entry_mut` (the hardware walker above all) may set either bit
+    /// through the returned reference, so the bitmaps must assume they do.
+    #[inline]
+    fn mark_slot_ad(&mut self, pi: usize) {
+        let w = pi >> 6;
+        let bit = 1u64 << (pi & 63);
+        self.a_words[w] |= bit;
+        self.d_words[w] |= bit;
+    }
+
+    /// Candidate word `w` for the requested bit kind.
+    #[inline]
+    fn a_or_d_word(&self, which: ScanBit, w: usize) -> u64 {
+        match which {
+            ScanBit::Accessed => self.a_words[w],
+            ScanBit::Dirty => self.d_words[w],
+        }
+    }
+}
+
+/// Which packed bitmap a word-wise scan draws candidates from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScanBit {
+    Accessed,
+    Dirty,
 }
 
 /// An interior node at level 1..=3.
@@ -185,18 +251,21 @@ impl PageTable {
         debug_assert!(pte.present(), "mapping a non-present PTE");
         debug_assert!(!pte.huge(), "use map_huge for PS mappings");
         let leaf = Self::ensure_leaf(&mut self.root, vpn);
-        let slot = &mut leaf.ptes[vpn.radix_index(0)];
+        let pi = vpn.radix_index(0);
+        let slot = &mut leaf.ptes[pi];
         if !slot.present() {
             leaf.present += 1;
             self.mapped_pages += 1;
         }
         *slot = pte;
+        leaf.sync_slot(pi);
     }
 
     /// Remove the translation for `vpn`, returning the prior entry.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
         let leaf = Self::find_leaf_mut(&mut self.root, vpn)?;
-        let slot = &mut leaf.ptes[vpn.radix_index(0)];
+        let pi = vpn.radix_index(0);
+        let slot = &mut leaf.ptes[pi];
         if !slot.present() {
             return None;
         }
@@ -204,6 +273,7 @@ impl PageTable {
         *slot = Pte::NONE;
         leaf.present -= 1;
         self.mapped_pages -= 1;
+        leaf.sync_slot(pi);
         Some(old)
     }
 
@@ -253,8 +323,11 @@ impl PageTable {
         }
         match node.children[vpn.radix_index(1)].as_mut()? {
             Node::Leaf(leaf) => {
-                let pte = &mut leaf.ptes[vpn.radix_index(0)];
-                Some(pte)
+                let pi = vpn.radix_index(0);
+                // The caller may set A/D through the returned reference;
+                // mark the slot so the packed bitmaps stay supersets.
+                leaf.mark_slot_ad(pi);
+                Some(&mut leaf.ptes[pi])
             }
             Node::Huge(pte) => Some(pte),
             Node::Interior(_) => None,
@@ -333,11 +406,13 @@ impl PageTable {
                 }
                 Node::Leaf(leaf) => {
                     fp.leaf_tables += 1;
-                    for (pi, pte) in leaf.ptes.iter_mut().enumerate() {
-                        if pte.present() {
+                    for pi in 0..FANOUT {
+                        if leaf.ptes[pi].present() {
                             fp.ptes_visited += 1;
                             let vpn = Vpn((child_prefix << RADIX_BITS) | pi as u64);
-                            visit(vpn, pte);
+                            visit(vpn, &mut leaf.ptes[pi]);
+                            // The closure may have set or cleared A/D.
+                            leaf.sync_slot(pi);
                         }
                     }
                 }
@@ -432,9 +507,9 @@ impl PageTable {
                 }
                 Node::Leaf(leaf) => {
                     fp.leaf_tables += 1;
-                    for (pi, pte) in leaf.ptes.iter_mut().enumerate() {
+                    for pi in 0..FANOUT {
                         let vpn = Vpn((child_prefix << RADIX_BITS) | pi as u64);
-                        if vpn.0 < start.0 || !pte.present() {
+                        if vpn.0 < start.0 || !leaf.ptes[pi].present() {
                             continue;
                         }
                         if fp.ptes_visited >= limit {
@@ -442,17 +517,204 @@ impl PageTable {
                             return true;
                         }
                         fp.ptes_visited += 1;
-                        visit(vpn, pte);
+                        visit(vpn, &mut leaf.ptes[pi]);
+                        leaf.sync_slot(pi);
                     }
                 }
                 Node::Huge(pte) => {
                     let vpn = Vpn(child_prefix << RADIX_BITS);
+                    // Skip a huge entry wholly below the cursor. Without
+                    // this check (mirroring the leaf arm's `vpn < start`
+                    // skip) a resumed sweep whose cursor lands inside a
+                    // huge span re-visits the entry, double-counting its
+                    // footprint and re-clearing its A bit.
+                    if vpn.0 < start.0 {
+                        continue;
+                    }
                     if fp.ptes_visited >= limit {
                         *resume = Some(vpn);
                         return true;
                     }
                     fp.ptes_visited += 1;
                     visit(vpn, pte);
+                }
+            }
+        }
+        false
+    }
+
+    /// Word-wise budgeted A-bit scan: the packed twin of
+    /// [`PageTable::walk_present_bounded`] behind `ABitScanner::scan_process`.
+    ///
+    /// Traversal order, footprint accounting (`ptes_visited` counts every
+    /// present PTE in the covered span, not just candidates), budget
+    /// consumption, and resume-cursor semantics are all identical to the
+    /// scalar bounded walk. The difference is purely how candidates are
+    /// found: instead of branching on every PTE, each leaf loads
+    /// `a_words & present_words` one `u64` at a time — 64 pages per load —
+    /// and iterates set bits via `trailing_zeros`. Because `a_words` is a
+    /// conservative superset, `visit` only runs for PTEs that *may* have
+    /// the A bit set and must confirm with `test_and_clear_accessed`; the
+    /// bitmap is re-tightened from the PTE after each visit.
+    pub fn scan_accessed_bounded(
+        &mut self,
+        start: Vpn,
+        limit: u64,
+        mut visit: impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        self.scan_bit_bounded(ScanBit::Accessed, start, limit, &mut visit)
+    }
+
+    /// Word-wise budgeted D-bit scan (writeback/PML drains); same contract
+    /// as [`PageTable::scan_accessed_bounded`] with `d_words` candidates.
+    pub fn scan_dirty_bounded(
+        &mut self,
+        start: Vpn,
+        limit: u64,
+        mut visit: impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        self.scan_bit_bounded(ScanBit::Dirty, start, limit, &mut visit)
+    }
+
+    fn scan_bit_bounded(
+        &mut self,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        let mut fp = WalkFootprint {
+            interior_nodes: 1,
+            ..Default::default()
+        };
+        let mut resume = None;
+        if limit > 0 {
+            Self::scan_node_bounded(
+                &mut self.root,
+                RADIX_LEVELS - 1,
+                0,
+                which,
+                start,
+                limit,
+                &mut fp,
+                &mut resume,
+                visit,
+            );
+        } else {
+            resume = Some(start);
+        }
+        (fp, resume)
+    }
+
+    /// Recursive helper for the packed scan; structure mirrors
+    /// [`PageTable::walk_node_bounded`] exactly so the two stay
+    /// footprint- and cursor-identical (locked down by the scan_props
+    /// suite).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_node_bounded(
+        node: &mut Interior,
+        level: usize,
+        prefix: u64,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        fp: &mut WalkFootprint,
+        resume: &mut Option<Vpn>,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> bool {
+        for (idx, child) in node.children.iter_mut().enumerate() {
+            let child_prefix = (prefix << RADIX_BITS) | idx as u64;
+            let span_bits = RADIX_BITS as usize * level;
+            let child_first_vpn = child_prefix << span_bits;
+            let child_last_vpn = child_first_vpn + (1u64 << span_bits) - 1;
+            if child_last_vpn < start.0 {
+                continue;
+            }
+            let Some(child) = child else { continue };
+            match child {
+                Node::Interior(next) => {
+                    fp.interior_nodes += 1;
+                    if Self::scan_node_bounded(
+                        next,
+                        level - 1,
+                        child_prefix,
+                        which,
+                        start,
+                        limit,
+                        fp,
+                        resume,
+                        visit,
+                    ) {
+                        return true;
+                    }
+                }
+                Node::Leaf(leaf) => {
+                    fp.leaf_tables += 1;
+                    let base = child_prefix << RADIX_BITS;
+                    for w in 0..SCAN_WORDS {
+                        let word_base = base | ((w as u64) << 6);
+                        if word_base + 63 < start.0 {
+                            continue;
+                        }
+                        // Present slots at or after the cursor in this word.
+                        let mut live = leaf.present_words[w];
+                        if word_base < start.0 {
+                            live &= !0u64 << (start.0 - word_base);
+                        }
+                        if live == 0 {
+                            continue;
+                        }
+                        // The scalar walk consumes one budget unit per
+                        // present PTE; replicate that with a popcount, and
+                        // truncate the word at the slot where the budget
+                        // runs out so the resume cursor lands exactly where
+                        // the scalar walk's would.
+                        let avail = u64::from(live.count_ones());
+                        let budget_left = limit - fp.ptes_visited;
+                        let span = if avail > budget_left {
+                            let mut rest = live;
+                            for _ in 0..budget_left {
+                                rest &= rest - 1;
+                            }
+                            let resume_bit = u64::from(rest.trailing_zeros());
+                            *resume = Some(Vpn(word_base | resume_bit));
+                            live & ((1u64 << resume_bit) - 1)
+                        } else {
+                            live
+                        };
+                        let mut cand = leaf.a_or_d_word(which, w) & span;
+                        while cand != 0 {
+                            let bit = cand.trailing_zeros() as usize;
+                            cand &= cand - 1;
+                            let pi = (w << 6) | bit;
+                            visit(Vpn(word_base | bit as u64), &mut leaf.ptes[pi]);
+                            leaf.sync_slot(pi);
+                        }
+                        fp.ptes_visited += u64::from(span.count_ones());
+                        if resume.is_some() {
+                            return true;
+                        }
+                    }
+                }
+                Node::Huge(pte) => {
+                    let vpn = Vpn(child_prefix << RADIX_BITS);
+                    if vpn.0 < start.0 {
+                        continue;
+                    }
+                    if fp.ptes_visited >= limit {
+                        *resume = Some(vpn);
+                        return true;
+                    }
+                    fp.ptes_visited += 1;
+                    // Huge entries keep their A/D at the PTE itself (one
+                    // bit per 2 MiB); gate the visit on the live bit.
+                    let candidate = match which {
+                        ScanBit::Accessed => pte.accessed(),
+                        ScanBit::Dirty => pte.dirty(),
+                    };
+                    if candidate {
+                        visit(vpn, pte);
+                    }
                 }
             }
         }
@@ -711,6 +973,179 @@ mod tests {
         // A disjoint range still accepts the huge mapping afterwards.
         pt.map_huge(Vpn(1024), pte).unwrap();
         assert_eq!(pt.mapped_pages(), 1 + HUGE_SPAN);
+    }
+
+    /// A tree exercising every node shape: dense base pages, sparse base
+    /// pages, a huge mapping, and an empty leaf table left by unmap.
+    fn mixed_shape_table() -> PageTable {
+        let mut pt = PageTable::new();
+        for v in 0..700u64 {
+            pt.map(Vpn(v * 2), Pte::new(Pfn(v), true));
+        }
+        let mut huge = Pte::new(Pfn(1 << 14), true);
+        huge.set(crate::pte::bits::PS);
+        pt.map_huge(Vpn(4096), huge).unwrap();
+        pt.map(Vpn(1 << 30), Pte::new(Pfn(9), true));
+        pt.unmap(Vpn(1 << 30)); // empty leaf table stays in the tree
+        pt.map(Vpn((1 << 30) + 700), Pte::new(Pfn(10), true));
+        pt
+    }
+
+    #[test]
+    fn bounded_walk_footprint_matches_unbounded_when_budget_exceeds() {
+        // Regression (ROADMAP item 5 satellite): with start=0 and a budget
+        // larger than the mapped set, the bounded walk must report the
+        // exact same WalkFootprint as walk_present — visited PTEs, leaf
+        // tables, and interior nodes alike.
+        let mut pt = mixed_shape_table();
+        let mut a = Vec::new();
+        let unbounded = pt.walk_present(|vpn, _| a.push(vpn));
+        let mut b = Vec::new();
+        let (bounded, resume) = pt.walk_present_bounded(Vpn(0), u64::MAX, |vpn, _| b.push(vpn));
+        assert_eq!(a, b, "visit order diverged");
+        assert_eq!(unbounded, bounded, "footprint accounting drifted");
+        assert_eq!(resume, None);
+    }
+
+    #[test]
+    fn bounded_walk_skips_huge_entry_below_cursor() {
+        // A cursor landing inside a huge span (possible after the region
+        // is remapped between budgeted sweeps) must not re-visit the huge
+        // entry whose base lies below it.
+        let mut pt = PageTable::new();
+        let mut huge = Pte::new(Pfn(0), true);
+        huge.set(crate::pte::bits::PS | crate::pte::bits::A);
+        pt.map_huge(Vpn(0), huge).unwrap();
+        pt.map(Vpn(600), Pte::new(Pfn(1), true));
+        let mut seen = Vec::new();
+        let (fp, resume) = pt.walk_present_bounded(Vpn(5), 100, |vpn, _| seen.push(vpn));
+        assert_eq!(seen, vec![Vpn(600)], "huge entry below cursor re-visited");
+        assert_eq!(fp.ptes_visited, 1);
+        assert_eq!(resume, None);
+        assert!(pt.get(Vpn(0)).accessed(), "A bit must survive the skip");
+    }
+
+    #[test]
+    fn packed_scan_matches_scalar_walk() {
+        // Same table contents, same budget, same cursor: the word-wise scan
+        // must observe the same accessed pages, clear the same bits, report
+        // the same footprint, and leave the same resume cursor.
+        let build = || {
+            let mut pt = mixed_shape_table();
+            for v in [0u64, 63 * 2, 64 * 2, 511 * 2, 512 * 2, 699 * 2] {
+                pt.entry_mut(Vpn(v)).unwrap().set(crate::pte::bits::A);
+            }
+            pt.entry_mut(Vpn(4096 + 17))
+                .unwrap()
+                .set(crate::pte::bits::A);
+            pt
+        };
+        for budget in [3u64, 64, 701, u64::MAX] {
+            let (mut scalar_pt, mut packed_pt) = (build(), build());
+            let mut cursor_s = Vpn(0);
+            let mut cursor_p = Vpn(0);
+            loop {
+                let mut hits_s = Vec::new();
+                let (fp_s, res_s) = scalar_pt.walk_present_bounded(cursor_s, budget, |vpn, pte| {
+                    if pte.test_and_clear_accessed() {
+                        hits_s.push(vpn);
+                    }
+                });
+                let mut hits_p = Vec::new();
+                let (fp_p, res_p) =
+                    packed_pt.scan_accessed_bounded(cursor_p, budget, |vpn, pte| {
+                        if pte.test_and_clear_accessed() {
+                            hits_p.push(vpn);
+                        }
+                    });
+                assert_eq!(hits_s, hits_p, "budget {budget}: observations diverged");
+                assert_eq!(fp_s, fp_p, "budget {budget}: footprints diverged");
+                assert_eq!(res_s, res_p, "budget {budget}: cursors diverged");
+                match res_s {
+                    Some(v) => {
+                        cursor_s = v;
+                        cursor_p = v;
+                    }
+                    None => break,
+                }
+            }
+            // Both tables end fully cleared.
+            let mut left = 0;
+            scalar_pt.walk_present(|_, pte| left += pte.accessed() as u32);
+            packed_pt.walk_present(|_, pte| left += pte.accessed() as u32);
+            assert_eq!(left, 0, "budget {budget}: stale A bits remain");
+        }
+    }
+
+    #[test]
+    fn packed_scan_skips_clear_words_but_counts_them() {
+        // 4096 mapped pages, only one accessed: the packed scan still
+        // charges the full footprint (the cost model is unchanged) while
+        // visiting just the one candidate.
+        let mut pt = PageTable::new();
+        for v in 0..4096u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        pt.entry_mut(Vpn(2049)).unwrap().set(crate::pte::bits::A);
+        let mut hits = Vec::new();
+        let (fp, resume) = pt.scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                hits.push(vpn);
+            }
+        });
+        assert_eq!(hits, vec![Vpn(2049)]);
+        assert_eq!(fp.ptes_visited, 4096);
+        assert_eq!(fp.leaf_tables, 8);
+        assert_eq!(resume, None);
+    }
+
+    #[test]
+    fn scan_dirty_bounded_finds_dirty_pages() {
+        let mut pt = PageTable::new();
+        for v in 0..128u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        pt.entry_mut(Vpn(7)).unwrap().set(crate::pte::bits::D);
+        pt.entry_mut(Vpn(64)).unwrap().set(crate::pte::bits::D);
+        let mut dirty = Vec::new();
+        let (fp, _) = pt.scan_dirty_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_dirty() {
+                dirty.push(vpn);
+            }
+        });
+        assert_eq!(dirty, vec![Vpn(7), Vpn(64)]);
+        assert_eq!(fp.ptes_visited, 128);
+        // Bits cleared: a second scan sees nothing.
+        let (_, _) = pt.scan_dirty_bounded(Vpn(0), u64::MAX, |_, _| panic!("dirty bit left set"));
+    }
+
+    #[test]
+    fn packed_scan_resumes_mid_word() {
+        // Budget runs out inside a word: the cursor must land on the next
+        // present slot, exactly like the scalar walk.
+        let mut pt = PageTable::new();
+        for v in 60..70u64 {
+            let mut pte = Pte::new(Pfn(v), true);
+            pte.set(crate::pte::bits::A);
+            pt.map(Vpn(v), pte);
+        }
+        let mut hits = Vec::new();
+        let (fp, resume) = pt.scan_accessed_bounded(Vpn(0), 6, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                hits.push(vpn);
+            }
+        });
+        assert_eq!(fp.ptes_visited, 6);
+        assert_eq!(hits, (60..66).map(Vpn).collect::<Vec<_>>());
+        assert_eq!(resume, Some(Vpn(66)));
+        let mut rest = Vec::new();
+        let (_, resume2) = pt.scan_accessed_bounded(Vpn(66), 100, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                rest.push(vpn);
+            }
+        });
+        assert_eq!(rest, (66..70).map(Vpn).collect::<Vec<_>>());
+        assert_eq!(resume2, None);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Pipeline-identity check: running the full harness with the overlapped
+//! epoch-close pipeline (`TMPROF_PIPELINE=1`) must be byte-identical to
+//! the serial close — detection counts, PMU counters, driver stats,
+//! replay logs, the ranked output derived from them, and every obs metric
+//! except the deferred-job counter that distinguishes the modes.
+
+use tmprof_bench::harness::{run_workload, ProfMode, RunOptions, WorkloadRun};
+use tmprof_bench::scale::Scale;
+use tmprof_core::rank::{EpochProfile, RankSource};
+use tmprof_obs::metrics::{Metric, Snapshot};
+use tmprof_workloads::spec::WorkloadKind;
+
+fn run(kind: WorkloadKind, opts: RunOptions, threaded: bool) -> (WorkloadRun, Snapshot) {
+    tmprof_obs::metrics::reset();
+    let run = run_workload(kind, &opts.with_pipeline(threaded));
+    (run, Snapshot::take())
+}
+
+fn assert_runs_identical(serial: &WorkloadRun, piped: &WorkloadRun, label: &str) {
+    assert_eq!(serial.detection, piped.detection, "{label}: detection");
+    assert_eq!(
+        serial.both_cumulative, piped.both_cumulative,
+        "{label}: both_cumulative"
+    );
+    assert_eq!(serial.counts, piped.counts, "{label}: PMU counters");
+    assert_eq!(serial.heat_trace, piped.heat_trace, "{label}: trace heat");
+    assert_eq!(serial.heat_abit, piped.heat_abit, "{label}: abit heat");
+    assert_eq!(
+        serial.abit_page_counts, piped.abit_page_counts,
+        "{label}: abit CDF counts"
+    );
+    assert_eq!(
+        serial.trace_page_counts, piped.trace_page_counts,
+        "{label}: trace CDF counts"
+    );
+    assert_eq!(
+        serial.log.first_touch_order, piped.log.first_touch_order,
+        "{label}: first-touch order"
+    );
+    assert_eq!(
+        serial.log.epochs.len(),
+        piped.log.epochs.len(),
+        "{label}: epoch count"
+    );
+    for (i, (a, b)) in serial.log.epochs.iter().zip(&piped.log.epochs).enumerate() {
+        assert_eq!(a.profile.abit, b.profile.abit, "{label}: epoch {i} abit");
+        assert_eq!(a.profile.trace, b.profile.trace, "{label}: epoch {i} trace");
+        assert_eq!(a.truth_mem, b.truth_mem, "{label}: epoch {i} truth");
+    }
+}
+
+/// Ranked output derived from the log — exercises the same path the
+/// figure binaries consume, so a reordered merge would surface here.
+fn assert_rankings_identical(serial: &WorkloadRun, piped: &WorkloadRun, label: &str) {
+    for (i, (a, b)) in serial.log.epochs.iter().zip(&piped.log.epochs).enumerate() {
+        for source in RankSource::ALL {
+            let ra = EpochProfile {
+                abit: a.profile.abit.clone(),
+                trace: a.profile.trace.clone(),
+            }
+            .ranked(source);
+            let rb = EpochProfile {
+                abit: b.profile.abit.clone(),
+                trace: b.profile.trace.clone(),
+            }
+            .ranked(source);
+            assert_eq!(ra, rb, "{label}: epoch {i} {source:?} ranking");
+        }
+    }
+}
+
+/// Every obs metric agrees except `core.pipeline_deferred`, which counts
+/// jobs handed to the worker thread and differs between modes by design.
+fn assert_metrics_identical(serial: &Snapshot, piped: &Snapshot, label: &str) {
+    for (metric, v) in serial.iter() {
+        if metric == Metric::CorePipelineDeferred {
+            continue;
+        }
+        assert_eq!(
+            v,
+            piped.get(metric),
+            "{label}: metric {} diverged",
+            metric.name()
+        );
+    }
+}
+
+#[test]
+fn pipelined_harness_is_byte_identical_to_serial() {
+    for kind in [WorkloadKind::Gups, WorkloadKind::DataCaching] {
+        let opts = RunOptions::new(Scale::quick()).dense().recording();
+        let (serial, snap_serial) = run(kind, opts, false);
+        let (piped, snap_piped) = run(kind, opts, true);
+        let label = format!("{kind:?}");
+        assert_runs_identical(&serial, &piped, &label);
+        assert_rankings_identical(&serial, &piped, &label);
+        assert_metrics_identical(&snap_serial, &snap_piped, &label);
+        // The threaded run really did defer work.
+        assert!(
+            snap_piped.get(Metric::CorePipelineDeferred) > 0,
+            "{label}: threaded run deferred nothing"
+        );
+        assert_eq!(
+            snap_serial.get(Metric::CorePipelineDeferred),
+            0,
+            "{label}: serial run must not defer"
+        );
+    }
+}
+
+#[test]
+fn pipeline_identity_holds_across_modes_and_shootdowns() {
+    // Single-mechanism configs skip one of the raw-page handoffs; THP-free
+    // shootdown mode adds mid-epoch TLB flushes. All must stay identical.
+    for (mode, label) in [
+        (ProfMode::ABitOnly, "abit-only"),
+        (ProfMode::TraceOnly, "trace-only"),
+    ] {
+        let opts = RunOptions::new(Scale::quick()).with_mode(mode);
+        let (serial, _) = run(WorkloadKind::WebServing, opts, false);
+        let (piped, _) = run(WorkloadKind::WebServing, opts, true);
+        assert_runs_identical(&serial, &piped, label);
+    }
+
+    let mut opts = RunOptions::new(Scale::quick());
+    opts.abit = opts.abit.with_shootdown();
+    let (serial, _) = run(WorkloadKind::Gups, opts, false);
+    let (piped, _) = run(WorkloadKind::Gups, opts, true);
+    assert_runs_identical(&serial, &piped, "shootdown");
+}
+
+#[test]
+fn pipelined_runs_are_reproducible() {
+    // Worker-thread scheduling must not leak into results: two threaded
+    // runs agree with each other, not just with serial.
+    let opts = RunOptions::new(Scale::quick());
+    let (a, _) = run(WorkloadKind::XsBench, opts, true);
+    let (b, _) = run(WorkloadKind::XsBench, opts, true);
+    assert_runs_identical(&a, &b, "repeat threaded run");
+}
