@@ -108,6 +108,31 @@ pub const PIPELINE: Knob = Knob {
            wall-clock time changes.",
 };
 
+/// Hierarchical subtree-skipping A-bit scan.
+pub const HIER_SCAN: Knob = Knob {
+    name: "TMPROF_HIER_SCAN",
+    default: "0",
+    accepts: "0 | 1",
+    help: "1 makes ABitScanner prune cold page-table subtrees via the \
+           interior A-summary words before touching leaf bitmaps \
+           (Telescope-style tree profiling; read in \
+           tmprof_profilers::abit). Observations, cleared bits, cursors, \
+           and charged cycles are bit-identical to the flat packed scan \
+           (the scan_props equivalence suite enforces it); only traversal \
+           work shrinks.",
+};
+
+/// Frames per lazily materialized page-descriptor chunk.
+pub const DESC_CHUNK: Knob = Knob {
+    name: "TMPROF_DESC_CHUNK",
+    default: "4096",
+    accepts: "positive power-of-two frame count",
+    help: "Chunk granularity of the sparse page-descriptor table (read in \
+           tmprof_sim::pagedesc; see the layering note above). Chunks \
+           materialize on first write, so descriptor memory scales with \
+           touched frames rather than tier capacity.",
+};
+
 /// Output directory for per-cell sweep metrics sidecars.
 pub const OBS_DIR: Knob = Knob {
     name: "TMPROF_OBS_DIR",
@@ -125,6 +150,8 @@ pub const ALL: &[Knob] = &[
     SIM_BATCH,
     GATE_DECAY,
     PIPELINE,
+    HIER_SCAN,
+    DESC_CHUNK,
     OBS_JOURNAL,
     OBS_DIR,
 ];
@@ -170,6 +197,14 @@ mod tests {
         assert_eq!(
             OBS_JOURNAL.default,
             tmprof_obs::journal::DEFAULT_CAPACITY.to_string()
+        );
+        // The hierarchical-scan switch is read by the profilers crate and
+        // the descriptor chunk size by sim; pin both names and defaults.
+        assert_eq!(HIER_SCAN.name, tmprof_profilers::abit::HIER_ENV);
+        assert_eq!(DESC_CHUNK.name, tmprof_sim::pagedesc::CHUNK_ENV);
+        assert_eq!(
+            DESC_CHUNK.default,
+            tmprof_sim::pagedesc::DEFAULT_CHUNK.to_string()
         );
     }
 

@@ -60,6 +60,12 @@ metrics! {
         "pages physically moved between tiers";
     SimEpochs => "sim.epochs",
         "machine epoch horizons crossed";
+    SimHierSubtreesSkipped => "sim.hier_subtrees_skipped",
+        "page-table subtrees pruned by the hierarchical A/D scan";
+    SimHierSubtreesDescended => "sim.hier_subtrees_descended",
+        "page-table children the hierarchical A/D scan had to descend into";
+    SimDescChunksResident => "sim.desc_chunks_resident",
+        "page-descriptor chunks materialized by first touch (gauge)";
     // -- profilers ------------------------------------------------------
     TraceSamplesCounted => "trace.samples_counted",
         "trace samples aggregated into page heat";

@@ -25,6 +25,10 @@ use tmprof_sim::machine::Machine;
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::tlb::Pid;
 
+/// Environment knob selecting the hierarchical subtree-skipping scan
+/// (`"1"` = on). Registered in `tmprof-core`'s knob registry.
+pub const HIER_ENV: &str = "TMPROF_HIER_SCAN";
+
 /// Scanner configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ABitConfig {
@@ -122,6 +126,10 @@ pub struct AbitHeatPoint {
 /// The A-bit scanning driver.
 pub struct ABitScanner {
     cfg: ABitConfig,
+    /// Prune cold subtrees via interior A-summary words before touching
+    /// leaf bitmaps (Telescope-style tree profiling). Observable behavior
+    /// is identical to the flat packed scan; only traversal work shrinks.
+    hier: bool,
     /// Resume cursor per PID for budgeted scans.
     cursors: KeyMap<Pid, Vpn>,
     /// Raw (possibly duplicated) packed keys observed this epoch; sorted
@@ -136,10 +144,12 @@ pub struct ABitScanner {
 }
 
 impl ABitScanner {
-    /// New scanner.
+    /// New scanner. The hierarchical scan mode defaults to the
+    /// `TMPROF_HIER_SCAN` environment knob (off unless set to `"1"`).
     pub fn new(cfg: ABitConfig) -> Self {
         Self {
             cfg,
+            hier: std::env::var(HIER_ENV).is_ok_and(|v| v == "1"),
             cursors: KeyMap::default(),
             epoch_pages: Vec::new(),
             seen_pages: PageSet::new(),
@@ -153,6 +163,19 @@ impl ABitScanner {
     /// Configuration in force.
     pub fn config(&self) -> &ABitConfig {
         &self.cfg
+    }
+
+    /// Force the hierarchical scan mode on or off, overriding the
+    /// `TMPROF_HIER_SCAN` environment default (builder style, for tests
+    /// and benches that compare the two traversals directly).
+    pub fn with_hier(mut self, on: bool) -> Self {
+        self.hier = on;
+        self
+    }
+
+    /// Whether the packed scan prunes cold subtrees hierarchically.
+    pub fn hier(&self) -> bool {
+        self.hier
     }
 
     /// Gate scanning on/off (TMP's TLB-miss-counter control).
@@ -220,7 +243,9 @@ impl ABitScanner {
                 }
             }
         };
-        let (fp, resume) = if packed {
+        let (fp, resume) = if packed && self.hier {
+            pt.hier_scan_accessed_bounded(start, budget, &mut observe)
+        } else if packed {
             pt.scan_accessed_bounded(start, budget, &mut observe)
         } else {
             pt.walk_present_bounded(start, budget, &mut observe)
@@ -405,6 +430,47 @@ mod tests {
         let mut sc = ABitScanner::new(ABitConfig::default());
         sc.scan_process(&mut m, 99);
         assert_eq!(sc.stats().scans, 0);
+    }
+
+    #[test]
+    fn hier_scan_matches_flat_scan_at_the_scanner_layer() {
+        // Same machine state, same budgeted scan sequence — the
+        // hierarchical traversal must produce identical observations,
+        // cursors, stats, and charged cycles.
+        let big = || {
+            let mut m = Machine::new(MachineConfig::scaled(2, 512, 8192, 1 << 20));
+            m.add_process(1);
+            m
+        };
+        let mut flat_m = big();
+        let mut hier_m = big();
+        for m in [&mut flat_m, &mut hier_m] {
+            // Map 5000 pages, clear every A bit with a throwaway sweep,
+            // then re-heat only the first 300: a small hot set in front of
+            // a large cold mapped tail.
+            touch_pages(m, 5000);
+            ABitScanner::new(ABitConfig::unbounded()).scan_process(m, 1);
+            m.shootdown(1, &(0..300).map(Vpn).collect::<Vec<_>>(), false);
+            touch_pages(m, 300);
+        }
+        let mut flat = ABitScanner::new(ABitConfig::default().with_budget(700)).with_hier(false);
+        let mut hier = ABitScanner::new(ABitConfig::default().with_budget(700)).with_hier(true);
+        assert!(hier.hier() && !flat.hier());
+        for _ in 0..12 {
+            flat.scan_process(&mut flat_m, 1);
+            hier.scan_process(&mut hier_m, 1);
+        }
+        assert_eq!(flat.stats().observations, hier.stats().observations);
+        assert_eq!(flat.stats().ptes_visited, hier.stats().ptes_visited);
+        assert_eq!(flat.stats().overhead_cycles, hier.stats().overhead_cycles);
+        assert_eq!(
+            flat.seen_pages().iter().count(),
+            hier.seen_pages().iter().count()
+        );
+        assert_eq!(
+            flat_m.aggregate_counts().profiling_cycles,
+            hier_m.aggregate_counts().profiling_cycles
+        );
     }
 
     #[test]

@@ -1,19 +1,28 @@
-//! Property suite: the packed word-wise A/D-bit scan is bit-for-bit
-//! equivalent to the scalar per-PTE reference walk.
+//! Property suite: the packed word-wise A/D-bit scan AND the hierarchical
+//! subtree-skipping scan are bit-for-bit equivalent to the scalar per-PTE
+//! reference walk.
 //!
 //! Two layers of the claim are held under random page-table histories
 //! (map / unmap / huge-map conflicts / huge-unmap / touches / migrations,
 //! deliberately straddling 64-entry word and 512-entry leaf boundaries):
 //!
 //! * **Page-table layer**: `scan_accessed_bounded` / `scan_dirty_bounded`
-//!   report the same observations (in the same order), the same walk
-//!   footprint, the same resume cursor, and leave the table in the same
-//!   final state as `walk_present_bounded` with the test-and-clear done
-//!   per PTE — across a full budgeted cursor cycle.
-//! * **Scanner layer**: `ABitScanner::scan_process` (packed) and
+//!   and their `hier_*` counterparts report the same observations (in the
+//!   same order), the same walk footprint, the same resume cursor, and
+//!   leave the table in the same final state as `walk_present_bounded`
+//!   with the test-and-clear done per PTE — across a full budgeted cursor
+//!   cycle.
+//! * **Scanner layer**: `ABitScanner::scan_process` in both flat-packed
+//!   and hierarchical (`with_hier`) modes and
 //!   `ABitScanner::scan_process_scalar` produce identical epoch pages,
 //!   heat points, stats, shootdowns, charged cycles, and residual A bits
-//!   on identically-driven machines.
+//!   on identically-driven machines — including when the modes alternate
+//!   scan-by-scan on the same machine.
+//!
+//! The regression block at the bottom pins the historically dangerous
+//! cases: word/leaf straddles, huge conflicts under budget-1 cursors, and
+//! cold interior nodes whose summary bits are stale-set (the hierarchical
+//! scan must descend, find nothing, and charge the identical footprint).
 
 use proptest::prelude::*;
 
@@ -145,11 +154,13 @@ fn snapshot(pt: &mut PageTable) -> Vec<(Vpn, Pte)> {
     out
 }
 
-/// Run a full budgeted cursor cycle of the packed scan on `packed` and
-/// the scalar reference on `scalar`, asserting per-round equivalence of
-/// observations, footprints, and resume cursors.
+/// Run a full budgeted cursor cycle of the packed scan on `packed`, the
+/// hierarchical scan on `hier`, and the scalar reference on `scalar`,
+/// asserting per-round three-way equivalence of observations, footprints,
+/// and resume cursors.
 fn assert_cycle_equivalent(
     packed: &mut PageTable,
+    hier: &mut PageTable,
     scalar: &mut PageTable,
     budget: u64,
     dirty_bit: bool,
@@ -176,6 +187,21 @@ fn assert_cycle_equivalent(
             })
         };
 
+        let mut hits_h: Vec<Vpn> = Vec::new();
+        let (fp_h, resume_h) = if dirty_bit {
+            hier.hier_scan_dirty_bounded(cursor, budget, |vpn, pte| {
+                if pte.test_and_clear_dirty() {
+                    hits_h.push(vpn);
+                }
+            })
+        } else {
+            hier.hier_scan_accessed_bounded(cursor, budget, |vpn, pte| {
+                if pte.test_and_clear_accessed() {
+                    hits_h.push(vpn);
+                }
+            })
+        };
+
         let mut hits_s: Vec<Vpn> = Vec::new();
         let (fp_s, resume_s) = scalar.walk_present_bounded(cursor, budget, |vpn, pte| {
             let hit = if dirty_bit {
@@ -189,6 +215,7 @@ fn assert_cycle_equivalent(
         });
 
         assert_eq!(hits_p, hits_s, "round {round} observations diverged");
+        assert_eq!(hits_h, hits_s, "round {round} hier observations diverged");
         assert_eq!(
             fp_p.ptes_visited, fp_s.ptes_visited,
             "round {round} footprint diverged"
@@ -197,7 +224,9 @@ fn assert_cycle_equivalent(
             fp_p.leaf_tables, fp_s.leaf_tables,
             "round {round} leaf count diverged"
         );
+        assert_eq!(fp_h, fp_p, "round {round} hier footprint diverged");
         assert_eq!(resume_p, resume_s, "round {round} resume cursor diverged");
+        assert_eq!(resume_h, resume_s, "round {round} hier cursor diverged");
         match resume_p {
             Some(next) => cursor = next,
             None => return,
@@ -218,13 +247,16 @@ proptest! {
         dirty_bit in any::<bool>(),
     ) {
         let mut packed = PageTable::new();
+        let mut hier = PageTable::new();
         let mut scalar = PageTable::new();
         for &op in &ops {
             apply(&mut packed, op);
+            apply(&mut hier, op);
             apply(&mut scalar, op);
         }
-        assert_cycle_equivalent(&mut packed, &mut scalar, budget, dirty_bit);
+        assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, budget, dirty_bit);
         prop_assert_eq!(snapshot(&mut packed), snapshot(&mut scalar), "final tables diverged");
+        prop_assert_eq!(snapshot(&mut hier), snapshot(&mut scalar), "final hier table diverged");
     }
 
     /// Unbounded single pass: same equivalence without cursor mechanics.
@@ -233,25 +265,34 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 0..150),
     ) {
         let mut packed = PageTable::new();
+        let mut hier = PageTable::new();
         let mut scalar = PageTable::new();
         for &op in &ops {
             apply(&mut packed, op);
+            apply(&mut hier, op);
             apply(&mut scalar, op);
         }
-        assert_cycle_equivalent(&mut packed, &mut scalar, u64::MAX, false);
-        assert_cycle_equivalent(&mut packed, &mut scalar, u64::MAX, true);
+        assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, u64::MAX, false);
+        assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, u64::MAX, true);
         prop_assert_eq!(snapshot(&mut packed), snapshot(&mut scalar));
+        prop_assert_eq!(snapshot(&mut hier), snapshot(&mut scalar));
     }
 }
 
+/// Which traversal the scanner uses for a scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ScanMode {
+    /// `scan_process_scalar`: the per-PTE reference walk.
+    Scalar,
+    /// `scan_process` with the flat word-packed leaf scan.
+    Packed,
+    /// `scan_process` with hierarchical subtree skipping.
+    Hier,
+}
+
 /// A machine whose page table was driven through `ops`, plus the scanner
-/// run over it `scans` times with the given config.
-fn run_scanner(
-    ops: &[TableOp],
-    cfg: ABitConfig,
-    scans: u32,
-    packed: bool,
-) -> (Machine, ABitScanner) {
+/// run over it once per entry of `modes` using that entry's traversal.
+fn run_scanner(ops: &[TableOp], cfg: ABitConfig, modes: &[ScanMode]) -> (Machine, ABitScanner) {
     let mut m = Machine::new(MachineConfig::scaled(2, 4096, 4096, 1 << 20));
     m.add_process(1);
     {
@@ -261,40 +302,46 @@ fn run_scanner(
         }
     }
     let mut sc = ABitScanner::new(cfg);
-    for _ in 0..scans {
-        if packed {
-            sc.scan_process(&mut m, 1);
-        } else {
-            sc.scan_process_scalar(&mut m, 1);
+    for &mode in modes {
+        sc = sc.with_hier(mode == ScanMode::Hier);
+        match mode {
+            ScanMode::Scalar => sc.scan_process_scalar(&mut m, 1),
+            ScanMode::Packed | ScanMode::Hier => sc.scan_process(&mut m, 1),
         }
     }
     (m, sc)
 }
 
-fn assert_scanners_equivalent(ops: &[TableOp], cfg: ABitConfig, scans: u32) {
-    let (mut mp, mut sp) = run_scanner(ops, cfg, scans, true);
-    let (mut ms, mut ss) = run_scanner(ops, cfg, scans, false);
+/// Assert that running `modes` produces every observable identical to the
+/// all-scalar reference sequence of the same length.
+fn assert_modes_match_scalar(ops: &[TableOp], cfg: ABitConfig, modes: &[ScanMode]) {
+    let (mut mp, mut sp) = run_scanner(ops, cfg, modes);
+    let scalar_modes = vec![ScanMode::Scalar; modes.len()];
+    let (mut ms, mut ss) = run_scanner(ops, cfg, &scalar_modes);
 
     assert_eq!(
         sp.take_epoch_pages_raw(),
         ss.take_epoch_pages_raw(),
-        "epoch pages diverged"
+        "epoch pages diverged ({modes:?})"
     );
     assert_eq!(
         sp.seen_pages().iter().collect::<Vec<_>>(),
         ss.seen_pages().iter().collect::<Vec<_>>(),
-        "seen pages diverged"
+        "seen pages diverged ({modes:?})"
     );
     assert_eq!(sp.heat_points(), ss.heat_points(), "heat points diverged");
 
     let (a, b) = (sp.stats(), ss.stats());
     assert_eq!(a.scans, b.scans);
-    assert_eq!(a.ptes_visited, b.ptes_visited, "footprint diverged");
+    assert_eq!(
+        a.ptes_visited, b.ptes_visited,
+        "footprint diverged ({modes:?})"
+    );
     assert_eq!(a.observations, b.observations);
     assert_eq!(a.shootdowns, b.shootdowns);
     assert_eq!(
         a.overhead_cycles, b.overhead_cycles,
-        "charged cost diverged"
+        "charged cost diverged ({modes:?})"
     );
     assert_eq!(
         mp.aggregate_counts().profiling_cycles,
@@ -304,7 +351,12 @@ fn assert_scanners_equivalent(ops: &[TableOp], cfg: ABitConfig, scans: u32) {
     // Residual A/D bits and translations agree exactly.
     let snap_p = snapshot(mp.scan_parts(1).expect("pid 1").0);
     let snap_s = snapshot(ms.scan_parts(1).expect("pid 1").0);
-    assert_eq!(snap_p, snap_s, "final page tables diverged");
+    assert_eq!(snap_p, snap_s, "final page tables diverged ({modes:?})");
+}
+
+fn assert_scanners_equivalent(ops: &[TableOp], cfg: ABitConfig, scans: u32) {
+    assert_modes_match_scalar(ops, cfg, &vec![ScanMode::Packed; scans as usize]);
+    assert_modes_match_scalar(ops, cfg, &vec![ScanMode::Hier; scans as usize]);
 }
 
 proptest! {
@@ -329,6 +381,32 @@ proptest! {
         };
         assert_scanners_equivalent(&ops, cfg, scans);
     }
+
+    /// Mode-interleaving: a random sequence of scalar/packed/hier scans on
+    /// ONE machine equals the all-scalar sequence — the traversals are
+    /// interchangeable mid-run because each leaves identical table state
+    /// and cursor behind.
+    #[test]
+    fn interleaved_scan_modes_match_scalar_sequence(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+        budget in prop_oneof![Just(None), (1u64..300).prop_map(Some)],
+        modes in prop::collection::vec(
+            prop_oneof![
+                Just(ScanMode::Scalar),
+                Just(ScanMode::Packed),
+                Just(ScanMode::Hier),
+            ],
+            1..6,
+        ),
+    ) {
+        let cfg = ABitConfig {
+            shootdown: false,
+            scan_budget: budget,
+            restart_each_scan: false,
+            record_samples: true,
+        };
+        assert_modes_match_scalar(&ops, cfg, &modes);
+    }
 }
 
 /// Word-boundary regression: a run of pages straddling the 64-entry word
@@ -345,12 +423,14 @@ fn word_boundary_straddle_scans_identically() {
     assert_scanners_equivalent(&ops, ABitConfig::default().with_budget(5), 4);
 
     let mut packed = PageTable::new();
+    let mut hier = PageTable::new();
     let mut scalar = PageTable::new();
     for &op in &ops {
         apply(&mut packed, op);
+        apply(&mut hier, op);
         apply(&mut scalar, op);
     }
-    assert_cycle_equivalent(&mut packed, &mut scalar, 5, false);
+    assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, 5, false);
 }
 
 /// Partial-last-word regression: the leaf's final word is only partially
@@ -373,12 +453,14 @@ fn partial_last_word_scans_identically() {
     assert_scanners_equivalent(&ops, ABitConfig::default().with_budget(7), 12);
 
     let mut packed = PageTable::new();
+    let mut hier = PageTable::new();
     let mut scalar = PageTable::new();
     for &op in &ops {
         apply(&mut packed, op);
+        apply(&mut hier, op);
         apply(&mut scalar, op);
     }
-    assert_cycle_equivalent(&mut packed, &mut scalar, 7, false);
+    assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, 7, false);
 }
 
 /// Huge-page conflict regression: a huge mapping that loses to existing
@@ -418,10 +500,68 @@ fn huge_conflict_and_mid_span_cursor_scan_identically() {
     assert_scanners_equivalent(&ops, ABitConfig::default().with_budget(1), 6);
 
     let mut packed = PageTable::new();
+    let mut hier = PageTable::new();
     let mut scalar = PageTable::new();
     for &op in &ops {
         apply(&mut packed, op);
+        apply(&mut hier, op);
         apply(&mut scalar, op);
     }
-    assert_cycle_equivalent(&mut packed, &mut scalar, 1, false);
+    assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, 1, false);
+}
+
+/// Cold-interior-node-with-stale-summary-bit regression: unmapping every
+/// page of a subtree leaves its interior summary bits stale-SET (unmap
+/// does not recompute summaries). The hierarchical scan must descend the
+/// stale-flagged subtree, find nothing, and still report the exact same
+/// footprint, observations, and cursor as the flat scan and scalar walk.
+#[test]
+fn stale_set_summary_over_cold_subtree_scans_identically() {
+    let mut ops: Vec<TableOp> = Vec::new();
+    // Populate two leaves: [0, 40) hot and [LEAF, LEAF+40) hot.
+    for vpn in (0..40).chain(LEAF..LEAF + 40) {
+        ops.push(TableOp::Map {
+            vpn,
+            accessed: true,
+            dirty: true,
+        });
+    }
+    // Kill the whole second leaf: summaries above it stay stale-set while
+    // the subtree is genuinely empty.
+    for vpn in LEAF..LEAF + 40 {
+        ops.push(TableOp::Unmap { vpn });
+    }
+    // And a third leaf further out so the cursor has somewhere to go.
+    for vpn in 2 * LEAF..2 * LEAF + 8 {
+        ops.push(TableOp::Map {
+            vpn,
+            accessed: true,
+            dirty: false,
+        });
+    }
+    for budget in [1, 7, 64, u64::MAX] {
+        let mut packed = PageTable::new();
+        let mut hier = PageTable::new();
+        let mut scalar = PageTable::new();
+        for &op in &ops {
+            apply(&mut packed, op);
+            apply(&mut hier, op);
+            apply(&mut scalar, op);
+        }
+        assert_cycle_equivalent(&mut packed, &mut hier, &mut scalar, budget, false);
+    }
+    assert_scanners_equivalent(&ops, ABitConfig::default().with_budget(16), 8);
+    // After the first full sweep cleared every A bit, the summaries over
+    // the surviving leaves are stale-set too; rescanning is the pure
+    // stale-summary case and must also agree.
+    assert_modes_match_scalar(
+        &ops,
+        ABitConfig::unbounded(),
+        &[
+            ScanMode::Hier,
+            ScanMode::Hier,
+            ScanMode::Scalar,
+            ScanMode::Hier,
+        ],
+    );
 }

@@ -5,6 +5,17 @@
 //! satisfied from tier 1 until it is exhausted, then spill to tier 2. Frames
 //! freed by migration return to their tier's free list so the page mover can
 //! exchange hot and cold pages between tiers.
+//!
+//! Never-allocated frames are represented as one contiguous *fresh* range
+//! per tier instead of an eagerly built free list, so constructing an
+//! allocator over a terabyte-class tier is O(1) in time and memory; only
+//! frames that have actually been freed occupy list storage. The observable
+//! behavior (allocation order, huge-run placement, failure cases) is
+//! identical to the historical dense free list, which kept frames
+//! descending so `pop()` yielded ascending PFNs: recycled frames are reused
+//! LIFO first, then fresh frames ascend from the bottom of the tier, and
+//! huge runs come from the top.
+struct _Docs;
 
 use crate::addr::Pfn;
 use crate::tier::{Tier, TieredMemory};
@@ -12,9 +23,45 @@ use crate::tier::{Tier, TieredMemory};
 /// Frames per 2 MiB huge page.
 pub const HUGE_FRAMES: u64 = 512;
 
+/// One tier's free space: the fresh (never-allocated) range plus frames
+/// returned by `free`/`free_huge` in push order.
+///
+/// The dense equivalent is the concatenation
+/// `[fresh_hi-1, .., fresh_lo] ++ recycled`, with `pop()` taking from the
+/// *end* — i.e. most-recently-freed first, then fresh frames ascending.
+struct TierFree {
+    fresh_lo: u64,
+    fresh_hi: u64,
+    recycled: Vec<Pfn>,
+}
+
+impl TierFree {
+    fn len(&self) -> u64 {
+        (self.fresh_hi - self.fresh_lo) + self.recycled.len() as u64
+    }
+
+    fn fresh_len(&self) -> u64 {
+        self.fresh_hi - self.fresh_lo
+    }
+
+    /// Element `i` of the equivalent dense free list (front = highest
+    /// fresh frame, then the recycled tail in push order).
+    fn virtual_entry(&self, i: u64) -> Pfn {
+        if i < self.fresh_len() {
+            Pfn(self.fresh_hi - 1 - i)
+        } else {
+            self.recycled[(i - self.fresh_len()) as usize]
+        }
+    }
+
+    fn contains(&self, pfn: Pfn) -> bool {
+        (self.fresh_lo..self.fresh_hi).contains(&pfn.0) || self.recycled.contains(&pfn)
+    }
+}
+
 /// Free-list frame allocator over the two-tier physical space.
 pub struct FrameAllocator {
-    free: [Vec<Pfn>; 2],
+    free: [TierFree; 2],
     allocated: [u64; 2],
 }
 
@@ -37,19 +84,21 @@ impl std::fmt::Display for OutOfMemory {
 impl std::error::Error for OutOfMemory {}
 
 impl FrameAllocator {
-    /// Build an allocator with every frame of `layout` free.
+    /// Build an allocator with every frame of `layout` free. O(1) per tier
+    /// regardless of capacity.
     ///
-    /// Free lists are kept so that frames are handed out in ascending
-    /// address order, which makes allocation deterministic and heatmaps
-    /// (Figs. 3–4) readable.
+    /// Frames are handed out in ascending address order, which makes
+    /// allocation deterministic and heatmaps (Figs. 3–4) readable.
     pub fn new(layout: &TieredMemory) -> Self {
-        let mut free = [Vec::new(), Vec::new()];
-        for tier in Tier::ALL {
+        let free = Tier::ALL.map(|tier| {
             let first = layout.first_frame(tier).0;
             let count = layout.spec(tier).frames;
-            // Stored reversed so `pop()` yields ascending PFNs.
-            free[tier.index()] = (first..first + count).rev().map(Pfn).collect();
-        }
+            TierFree {
+                fresh_lo: first,
+                fresh_hi: first + count,
+                recycled: Vec::new(),
+            }
+        });
         Self {
             free,
             allocated: [0, 0],
@@ -58,13 +107,18 @@ impl FrameAllocator {
 
     /// Allocate from a specific tier.
     pub fn alloc_in(&mut self, tier: Tier) -> Result<Pfn, OutOfMemory> {
-        match self.free[tier.index()].pop() {
-            Some(pfn) => {
-                self.allocated[tier.index()] += 1;
-                Ok(pfn)
+        let free = &mut self.free[tier.index()];
+        let pfn = match free.recycled.pop() {
+            Some(pfn) => pfn,
+            None if free.fresh_lo < free.fresh_hi => {
+                let pfn = Pfn(free.fresh_lo);
+                free.fresh_lo += 1;
+                pfn
             }
-            None => Err(OutOfMemory { tier: Some(tier) }),
-        }
+            None => return Err(OutOfMemory { tier: Some(tier) }),
+        };
+        self.allocated[tier.index()] += 1;
+        Ok(pfn)
     }
 
     /// First-come-first-allocate: tier 1 first, spill to tier 2.
@@ -82,19 +136,29 @@ impl FrameAllocator {
     /// kernel's THP behavior.
     pub fn alloc_huge_in(&mut self, tier: Tier) -> Option<Pfn> {
         let free = &mut self.free[tier.index()];
-        if (free.len() as u64) < HUGE_FRAMES {
+        if free.len() < HUGE_FRAMES {
             return None;
         }
-        // The free list is kept descending (pop() yields ascending PFNs),
-        // so the highest frames sit at the front. Check the front run.
-        let top = free[0].0;
-        for i in 0..HUGE_FRAMES as usize {
-            if free.get(i).map(|p| p.0) != top.checked_sub(i as u64) {
-                return None;
+        let fresh_len = free.fresh_len();
+        let base = if fresh_len >= HUGE_FRAMES {
+            // Entirely fresh: the top of the fresh range is contiguous by
+            // construction.
+            free.fresh_hi -= HUGE_FRAMES;
+            Pfn(free.fresh_hi)
+        } else {
+            // The run would straddle fresh and recycled frames: check that
+            // the head of the equivalent dense list still descends without
+            // a hole, exactly as the dense allocator checked its front run.
+            let top = free.virtual_entry(0).0;
+            for i in 0..HUGE_FRAMES {
+                if top.checked_sub(i).map(Pfn) != Some(free.virtual_entry(i)) {
+                    return None;
+                }
             }
-        }
-        let base = Pfn(top - (HUGE_FRAMES - 1));
-        free.drain(0..HUGE_FRAMES as usize);
+            free.fresh_hi = free.fresh_lo;
+            free.recycled.drain(0..(HUGE_FRAMES - fresh_len) as usize);
+            Pfn(top - (HUGE_FRAMES - 1))
+        };
         self.allocated[tier.index()] += HUGE_FRAMES;
         Some(base)
     }
@@ -109,10 +173,11 @@ impl FrameAllocator {
     pub fn free_huge(&mut self, layout: &TieredMemory, base: Pfn) {
         let tier = layout.tier_of(base);
         self.allocated[tier.index()] -= HUGE_FRAMES;
-        // Push descending so the front of the list remains the highest
-        // frames (preserving future huge allocability when possible).
+        // Push descending so the head of the recycled run stays the highest
+        // frames (preserving future huge allocability when possible) and a
+        // subsequent `alloc_in` pops the base frame first.
         for i in (0..HUGE_FRAMES).rev() {
-            self.free[tier.index()].push(Pfn(base.0 + i));
+            self.free[tier.index()].recycled.push(Pfn(base.0 + i));
         }
     }
 
@@ -123,16 +188,16 @@ impl FrameAllocator {
     pub fn free(&mut self, layout: &TieredMemory, pfn: Pfn) {
         let tier = layout.tier_of(pfn);
         debug_assert!(
-            !self.free[tier.index()].contains(&pfn),
+            !self.free[tier.index()].contains(pfn),
             "double free of {pfn:?}"
         );
         self.allocated[tier.index()] -= 1;
-        self.free[tier.index()].push(pfn);
+        self.free[tier.index()].recycled.push(pfn);
     }
 
     /// Frames currently free in `tier`.
     pub fn free_in(&self, tier: Tier) -> u64 {
-        self.free[tier.index()].len() as u64
+        self.free[tier.index()].len()
     }
 
     /// Frames currently allocated from `tier`.
@@ -233,6 +298,51 @@ mod tests {
             fa.free(&l, p);
         }
         assert_eq!(fa.alloc_huge_in(Tier::Tier1), None, "hole breaks the run");
+    }
+
+    #[test]
+    fn huge_allocation_spans_fresh_and_recycled_frames() {
+        // Mixed-run case: part of the 512-run is fresh, the rest was freed
+        // back in descending order so the dense front run stays unbroken.
+        let l = TieredMemory::with_frames(1024, 0);
+        let mut fa = FrameAllocator::new(&l);
+        for _ in 0..600 {
+            fa.alloc_in(Tier::Tier1).unwrap();
+        }
+        // Recycle 599..=400 descending: the dense list head is then
+        // [1023..600 fresh] ++ [599..400 recycled], one contiguous run.
+        for p in (400..600u64).rev() {
+            fa.free(&l, Pfn(p));
+        }
+        let base = fa.alloc_huge_in(Tier::Tier1).unwrap();
+        assert_eq!(base, Pfn(1023 - 511));
+        assert_eq!(fa.free_in(Tier::Tier1), 112);
+        // The recycled remainder still pops LIFO.
+        assert_eq!(fa.alloc_in(Tier::Tier1).unwrap(), Pfn(400));
+        // A recycled head that does NOT continue the fresh run fails.
+        let l2 = TieredMemory::with_frames(1024, 0);
+        let mut fa2 = FrameAllocator::new(&l2);
+        for _ in 0..256 {
+            fa2.alloc_in(Tier::Tier1).unwrap();
+        }
+        let hb = fa2.alloc_huge_in(Tier::Tier1).unwrap(); // fresh top run
+        fa2.free_huge(&l2, hb);
+        // Dense head is now [511..256 fresh] ++ [1023..512 recycled]:
+        // broken at the seam, so no huge run is available.
+        assert_eq!(fa2.alloc_huge_in(Tier::Tier1), None);
+    }
+
+    #[test]
+    fn terabyte_tier_construction_is_lazy() {
+        // 2^30 frames per tier (4 TiB each of 4 KiB pages): building the
+        // allocator must not materialize per-frame state.
+        let l = TieredMemory::with_frames(1 << 30, 1 << 30);
+        let mut fa = FrameAllocator::new(&l);
+        assert_eq!(fa.free_in(Tier::Tier1), 1 << 30);
+        let p = fa.alloc_in(Tier::Tier1).unwrap();
+        assert_eq!(p, l.first_frame(Tier::Tier1));
+        let huge = fa.alloc_huge_in(Tier::Tier2).unwrap();
+        assert_eq!(huge.0 + 511, l.first_frame(Tier::Tier2).0 + (1 << 30) - 1);
     }
 
     #[test]

@@ -2,13 +2,19 @@
 //!
 //! TMP "stores the data of a page by extending its page descriptor (PD)
 //! structure" and uses `phys_to_page()` to find the PD from a physical
-//! address (§III-B-1). We model the same thing: a flat array indexed by PFN,
-//! each element accumulating the A-bit observations and trace samples that
-//! the two profiling drivers deliver, plus a backlink to the logical page
+//! address (§III-B-1). We model the same thing, but where the kernel's
+//! `mem_map` is a dense array, this table is *sparse*: descriptors live in
+//! fixed-size frame chunks materialized on first touch (the
+//! `SPARSEMEM`-section analogue), so descriptor memory scales with the
+//! resident/touched frame set rather than with configured capacity — the
+//! property that lets terabyte-class footprints fit. Each descriptor
+//! accumulates the A-bit observations and trace samples that the two
+//! profiling drivers deliver, plus a backlink to the logical page
 //! (`rmap`-style) so migration can move stats with the page.
 
 use crate::addr::{Pfn, Vpn};
 use crate::tlb::Pid;
+use tmprof_obs::metrics::{self, Metric};
 
 /// A stable identity for a logical page: (process, virtual page).
 ///
@@ -74,9 +80,32 @@ impl PageDesc {
     }
 }
 
-/// The machine-wide descriptor array (`mem_map` analogue).
+/// The descriptor of a never-touched frame (what a dense table would hold).
+const FREE: PageDesc = PageDesc {
+    owner: None,
+    abit_epoch: 0,
+    trace_epoch: 0,
+    abit_total: 0,
+    trace_total: 0,
+    last_touched_epoch: 0,
+};
+
+/// The machine-wide descriptor table (`mem_map` analogue), chunked sparse.
+///
+/// Capacity is declared up front (so out-of-range PFNs still panic exactly
+/// like the dense array did), but backing storage is a vector of
+/// `Option<chunk>` slots: a chunk of [`PageDescTable::chunk_frames`]
+/// descriptors is allocated the first time any frame in it is written.
+/// Reads of untouched frames return a reference to the shared all-zero
+/// descriptor without allocating. Iteration order (chunk-ascending, then
+/// frame-ascending) is identical to the dense array's PFN order.
 pub struct PageDescTable {
-    descs: Vec<PageDesc>,
+    chunks: Vec<Option<Box<[PageDesc]>>>,
+    /// Frames per chunk; always a power of two.
+    chunk_frames: usize,
+    shift: u32,
+    total_frames: u64,
+    resident: u64,
     /// Frames that gained per-epoch observations since the last horizon
     /// (the epoch-close "dirty list"). Maintained by [`Self::bump_abit`],
     /// [`Self::bump_trace`] and [`Self::migrate`] so that profile capture
@@ -90,35 +119,94 @@ pub struct PageDescTable {
     dirty: Vec<Pfn>,
 }
 
+/// Default frames per chunk: 4096 frames = 16 MiB of simulated memory per
+/// ~0.25 MiB chunk of descriptors.
+pub const DEFAULT_CHUNK: usize = 4096;
+
+/// Env knob (registered in `core/src/knobs.rs`) overriding the chunk size;
+/// must be a positive power of two, else the default is kept.
+pub const CHUNK_ENV: &str = "TMPROF_DESC_CHUNK";
+
+fn chunk_frames_from_env() -> usize {
+    std::env::var(CHUNK_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| n.is_power_of_two())
+        .unwrap_or(DEFAULT_CHUNK)
+}
+
 impl PageDescTable {
-    /// One descriptor per physical frame.
+    /// Cover `total_frames` frames with chunk size taken from
+    /// `TMPROF_DESC_CHUNK` (default [`DEFAULT_CHUNK`]). No descriptor
+    /// storage is allocated until a frame is first written.
     pub fn new(total_frames: u64) -> Self {
+        Self::with_chunk_frames(total_frames, chunk_frames_from_env())
+    }
+
+    /// As [`Self::new`] with an explicit chunk size (must be a power of
+    /// two); used by tests and benches to pin the geometry.
+    pub fn with_chunk_frames(total_frames: u64, chunk_frames: usize) -> Self {
+        assert!(chunk_frames.is_power_of_two());
+        let n_chunks = (total_frames as usize).div_ceil(chunk_frames);
+        let mut chunks = Vec::with_capacity(n_chunks);
+        chunks.resize_with(n_chunks, || None);
         Self {
-            descs: vec![PageDesc::default(); total_frames as usize],
+            chunks,
+            chunk_frames,
+            shift: chunk_frames.trailing_zeros(),
+            total_frames,
+            resident: 0,
             dirty: Vec::new(),
         }
     }
 
-    /// Number of frames covered.
+    /// Number of frames covered (declared capacity, not resident storage).
     pub fn len(&self) -> usize {
-        self.descs.len()
+        self.total_frames as usize
     }
 
     /// True if the table covers no frames.
     pub fn is_empty(&self) -> bool {
-        self.descs.is_empty()
+        self.total_frames == 0
     }
 
-    /// `phys_to_page()`: descriptor for a frame.
+    /// Chunks materialized so far.
+    pub fn resident_chunks(&self) -> u64 {
+        self.resident
+    }
+
+    /// Frames per chunk.
+    pub fn chunk_frames(&self) -> usize {
+        self.chunk_frames
+    }
+
+    /// `phys_to_page()`: descriptor for a frame. Reading a frame in an
+    /// untouched chunk returns the shared zero descriptor (no allocation).
     #[inline]
     pub fn get(&self, pfn: Pfn) -> &PageDesc {
-        &self.descs[pfn.0 as usize]
+        assert!(pfn.0 < self.total_frames, "pfn {pfn:?} out of range");
+        match &self.chunks[(pfn.0 >> self.shift) as usize] {
+            Some(chunk) => &chunk[pfn.0 as usize & (self.chunk_frames - 1)],
+            None => &FREE,
+        }
     }
 
-    /// Mutable `phys_to_page()`.
+    /// Mutable `phys_to_page()`; materializes the covering chunk on first
+    /// touch.
     #[inline]
     pub fn get_mut(&mut self, pfn: Pfn) -> &mut PageDesc {
-        &mut self.descs[pfn.0 as usize]
+        assert!(pfn.0 < self.total_frames, "pfn {pfn:?} out of range");
+        let ci = (pfn.0 >> self.shift) as usize;
+        if self.chunks[ci].is_none() {
+            self.chunks[ci] = Some(vec![FREE; self.chunk_frames].into_boxed_slice());
+            self.resident += 1;
+            metrics::set(Metric::SimDescChunksResident, self.resident);
+        }
+        match &mut self.chunks[ci] {
+            Some(chunk) => &mut chunk[pfn.0 as usize & (self.chunk_frames - 1)],
+            // The chunk was materialized just above.
+            None => unreachable!(),
+        }
     }
 
     /// Record that frame `pfn` now backs logical page `key`.
@@ -129,7 +217,7 @@ impl PageDescTable {
     /// Record an A-bit observation against a frame.
     #[inline]
     pub fn bump_abit(&mut self, pfn: Pfn, epoch: u32) {
-        let d = &mut self.descs[pfn.0 as usize];
+        let d = self.get_mut(pfn);
         let first_this_epoch = d.abit_epoch == 0 && d.trace_epoch == 0;
         d.abit_epoch += 1;
         d.abit_total += 1;
@@ -142,7 +230,7 @@ impl PageDescTable {
     /// Record a trace sample against a frame.
     #[inline]
     pub fn bump_trace(&mut self, pfn: Pfn, epoch: u32) {
-        let d = &mut self.descs[pfn.0 as usize];
+        let d = self.get_mut(pfn);
         let first_this_epoch = d.abit_epoch == 0 && d.trace_epoch == 0;
         d.trace_epoch += 1;
         d.trace_total += 1;
@@ -169,10 +257,10 @@ impl PageDescTable {
     /// Reset per-epoch counters (epoch horizon). Walks only the dirty
     /// list — O(touched pages), not O(total frames).
     pub fn reset_epoch(&mut self) {
-        for &pfn in &self.dirty {
-            self.descs[pfn.0 as usize].reset_epoch();
+        let dirty = std::mem::take(&mut self.dirty);
+        for &pfn in &dirty {
+            self.get_mut(pfn).reset_epoch();
         }
-        self.dirty.clear();
     }
 
     /// Frames with per-epoch observations, ascending and deduplicated
@@ -185,7 +273,7 @@ impl PageDescTable {
             .iter()
             .copied()
             .filter(|&pfn| {
-                let d = &self.descs[pfn.0 as usize];
+                let d = self.get(pfn);
                 d.abit_epoch > 0 || d.trace_epoch > 0
             })
             .collect();
@@ -194,13 +282,23 @@ impl PageDescTable {
         v
     }
 
-    /// Iterate over (frame, descriptor) pairs with a live owner.
+    /// Iterate over (frame, descriptor) pairs with a live owner, ascending
+    /// by PFN — only resident chunks are visited, so this is
+    /// O(touched frames), not O(declared capacity).
     pub fn iter_owned(&self) -> impl Iterator<Item = (Pfn, &PageDesc)> + '_ {
-        self.descs
+        let chunk_frames = self.chunk_frames;
+        self.chunks
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.owner.is_some())
-            .map(|(i, d)| (Pfn(i as u64), d))
+            .filter_map(|(ci, c)| c.as_deref().map(|c| (ci, c)))
+            .flat_map(move |(ci, chunk)| {
+                let base = (ci * chunk_frames) as u64;
+                chunk
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.owner.is_some())
+                    .map(move |(i, d)| (Pfn(base + i as u64), d))
+            })
     }
 }
 
@@ -352,9 +450,126 @@ mod tests {
             t.bump_trace(Pfn(pfn), 0);
         }
         t.reset_epoch();
-        for d in &t.descs {
+        for pfn in 0..64u64 {
+            let d = t.get(Pfn(pfn));
             assert_eq!(d.abit_epoch, 0);
             assert_eq!(d.trace_epoch, 0);
+        }
+    }
+
+    #[test]
+    fn chunks_materialize_only_on_write() {
+        // Terabyte-class capacity (2^30 frames = 4 TiB of 4 KiB pages),
+        // far beyond what a dense Vec<PageDesc> could hold in a test:
+        // nothing is allocated until a frame is written, reads of cold
+        // frames see the zero descriptor, and one write materializes
+        // exactly one chunk.
+        let mut t = PageDescTable::with_chunk_frames(1 << 30, 4096);
+        assert_eq!(t.resident_chunks(), 0);
+        assert_eq!(t.len(), 1 << 30);
+        assert_eq!(t.get(Pfn((1 << 30) - 1)).epoch_rank(), 0);
+        assert_eq!(t.resident_chunks(), 0, "reads must not allocate");
+        t.bump_abit(Pfn(1 << 29), 0);
+        assert_eq!(t.resident_chunks(), 1);
+        t.bump_abit(Pfn((1 << 29) + 1), 0);
+        assert_eq!(t.resident_chunks(), 1, "same chunk re-used");
+        t.bump_trace(Pfn(0), 0);
+        assert_eq!(t.resident_chunks(), 2);
+        assert_eq!(
+            t.touched_frames(),
+            vec![Pfn(0), Pfn(1 << 29), Pfn((1 << 29) + 1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_pfn_still_panics() {
+        // The dense array bounds-checked every access; the sparse table
+        // must keep that contract rather than silently growing.
+        let t = PageDescTable::with_chunk_frames(100, 64);
+        let _ = t.get(Pfn(100));
+    }
+
+    #[test]
+    fn capacity_not_a_chunk_multiple_covers_the_tail() {
+        let mut t = PageDescTable::with_chunk_frames(100, 64);
+        t.bump_abit(Pfn(99), 0);
+        assert_eq!(t.get(Pfn(99)).abit_epoch, 1);
+        assert_eq!(t.resident_chunks(), 1);
+    }
+
+    #[test]
+    fn sparse_table_matches_dense_model_under_random_ops() {
+        // Drive the sparse table and a plain Vec<PageDesc> model through
+        // the same deterministic op stream and require identical state at
+        // every observation point: per-frame descriptors, touched_frames,
+        // and iter_owned order.
+        const FRAMES: u64 = 1024;
+        let mut t = PageDescTable::with_chunk_frames(FRAMES, 64);
+        let mut model = vec![FREE; FRAMES as usize];
+        let mut rng = crate::rng::Rng::new(0xDECAF);
+        for round in 0..4u32 {
+            for _ in 0..500 {
+                let pfn = Pfn(rng.next_u64() % FRAMES);
+                match rng.next_u64() % 4 {
+                    0 => {
+                        t.bump_abit(pfn, round);
+                        let d = &mut model[pfn.0 as usize];
+                        d.abit_epoch += 1;
+                        d.abit_total += 1;
+                        d.last_touched_epoch = round;
+                    }
+                    1 => {
+                        t.bump_trace(pfn, round);
+                        let d = &mut model[pfn.0 as usize];
+                        d.trace_epoch += 1;
+                        d.trace_total += 1;
+                        d.last_touched_epoch = round;
+                    }
+                    2 => {
+                        let key = PageKey {
+                            pid: 1,
+                            vpn: Vpn(pfn.0),
+                        };
+                        t.set_owner(pfn, key);
+                        model[pfn.0 as usize].owner = Some(key);
+                    }
+                    _ => {
+                        let to = Pfn(rng.next_u64() % FRAMES);
+                        if to != pfn {
+                            t.migrate(pfn, to);
+                            model[to.0 as usize] = std::mem::take(&mut model[pfn.0 as usize]);
+                        }
+                    }
+                }
+            }
+            let mut expect_touched: Vec<Pfn> = (0..FRAMES)
+                .filter(|&p| {
+                    let d = &model[p as usize];
+                    d.abit_epoch > 0 || d.trace_epoch > 0
+                })
+                .map(Pfn)
+                .collect();
+            expect_touched.sort_unstable();
+            assert_eq!(t.touched_frames(), expect_touched, "round {round}");
+            let expect_owned: Vec<Pfn> = (0..FRAMES)
+                .filter(|&p| model[p as usize].owner.is_some())
+                .map(Pfn)
+                .collect();
+            let got_owned: Vec<Pfn> = t.iter_owned().map(|(p, _)| p).collect();
+            assert_eq!(got_owned, expect_owned, "round {round}");
+            for p in 0..FRAMES {
+                let (got, want) = (t.get(Pfn(p)), &model[p as usize]);
+                assert_eq!(got.abit_epoch, want.abit_epoch, "round {round} pfn {p}");
+                assert_eq!(got.trace_epoch, want.trace_epoch);
+                assert_eq!(got.abit_total, want.abit_total);
+                assert_eq!(got.trace_total, want.trace_total);
+                assert_eq!(got.owner, want.owner);
+            }
+            t.reset_epoch();
+            for d in &mut model {
+                d.reset_epoch();
+            }
         }
     }
 }

@@ -10,11 +10,22 @@
 //! software walk — proportional to the number of resident leaf tables and
 //! PTEs — is one of the quantities the paper measures (Table I: "the more
 //! PIDs are covered, the more overhead there is in traversing PTEs").
+//!
+//! Interior nodes additionally carry *summary* A/D words (one bit per
+//! child, the PMD/PUD/PGD analogue of the leaf `a_words`): a summary bit
+//! is a conservative superset flag saying the child's whole subtree *may*
+//! contain a set A/D bit. The hierarchical scan
+//! ([`PageTable::hier_scan_accessed_bounded`], Telescope-style) uses them
+//! to prune entire cold subtrees in O(1) — charging the subtree's exact
+//! walk footprint from per-node aggregates so cost accounting, budget
+//! consumption, and resume cursors stay bit-identical to the flat
+//! word-wise scan, which remains the authoritative inner loop.
 
 use crate::addr::{Vpn, RADIX_BITS, RADIX_LEVELS};
 #[allow(unused_imports)]
 use crate::pte::bits as _pte_bits;
 use crate::pte::Pte;
+use tmprof_obs::metrics::{self, Metric};
 
 const FANOUT: usize = 1 << RADIX_BITS;
 
@@ -103,9 +114,29 @@ enum ScanBit {
 }
 
 /// An interior node at level 1..=3.
+///
+/// Besides the child slots it carries the hierarchical-scan metadata:
+///
+/// * `live_words` — exact bitmap of occupied child slots, the interior
+///   twin of the leaf `present_words` (64 slots per word);
+/// * `a_sum` / `d_sum` — conservative summary supersets: bit set when the
+///   child's subtree *may* hold a present PTE with the A/D bit set. Like
+///   the leaf bitmaps they can be stale-set but never stale-clear, so a
+///   clear bit proves the whole subtree is cold;
+/// * `agg_*` — exact walk-unit aggregates for the subtree (a huge entry
+///   counts as one PTE, exactly as the walk visits it; `agg_interiors`
+///   includes the node itself; `agg_leaves` includes empty leaf tables
+///   left behind by unmap, which the flat walk also touches). They let
+///   the hierarchical scan charge a skipped subtree's exact
+///   [`WalkFootprint`] without descending into it.
 struct Interior {
     children: Vec<Option<Node>>,
-    live: u16,
+    live_words: [u64; SCAN_WORDS],
+    a_sum: [u64; SCAN_WORDS],
+    d_sum: [u64; SCAN_WORDS],
+    agg_ptes: u64,
+    agg_leaves: u64,
+    agg_interiors: u64,
 }
 
 enum Node {
@@ -121,8 +152,134 @@ impl Interior {
     fn new() -> Self {
         let mut children = Vec::with_capacity(FANOUT);
         children.resize_with(FANOUT, || None);
-        Self { children, live: 0 }
+        Self {
+            children,
+            live_words: [0; SCAN_WORDS],
+            a_sum: [0; SCAN_WORDS],
+            d_sum: [0; SCAN_WORDS],
+            agg_ptes: 0,
+            agg_leaves: 0,
+            agg_interiors: 1,
+        }
     }
+
+    #[inline]
+    fn set_live(&mut self, idx: usize) {
+        self.live_words[idx >> 6] |= 1u64 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear_live(&mut self, idx: usize) {
+        self.live_words[idx >> 6] &= !(1u64 << (idx & 63));
+    }
+
+    /// Conservatively mark child `idx` as a possible A/D candidate: the
+    /// interior twin of [`LeafTable::mark_slot_ad`], used on the
+    /// `entry_mut` descent path because the caller may set either bit
+    /// through the returned reference.
+    #[inline]
+    fn mark_child_ad(&mut self, idx: usize) {
+        let bit = 1u64 << (idx & 63);
+        self.a_sum[idx >> 6] |= bit;
+        self.d_sum[idx >> 6] |= bit;
+    }
+
+    /// Set (never clear) the summary bits for child `idx` from an
+    /// installed PTE's flags.
+    #[inline]
+    fn mark_child_bits(&mut self, idx: usize, a: bool, d: bool) {
+        let bit = 1u64 << (idx & 63);
+        if a {
+            self.a_sum[idx >> 6] |= bit;
+        }
+        if d {
+            self.d_sum[idx >> 6] |= bit;
+        }
+    }
+
+    /// Fold a mapping delta from a completed descent into the aggregates.
+    #[inline]
+    fn apply(&mut self, d: MapDelta) {
+        self.agg_ptes += d.ptes;
+        self.agg_leaves += d.leaves;
+        self.agg_interiors += d.interiors;
+    }
+}
+
+/// Nodes/PTEs newly created by a mapping descent, propagated back up so
+/// every node on the path can update its subtree aggregates.
+#[derive(Clone, Copy, Default)]
+struct MapDelta {
+    /// Newly present walk units (a huge entry counts as one).
+    ptes: u64,
+    leaves: u64,
+    interiors: u64,
+}
+
+impl MapDelta {
+    #[inline]
+    fn absorb(&mut self, o: MapDelta) {
+        self.ptes += o.ptes;
+        self.leaves += o.leaves;
+        self.interiors += o.interiors;
+    }
+}
+
+/// Recompute the A/D summary for child `idx` exactly from the child's own
+/// (possibly conservative) words. Called after a traversal processed the
+/// child: the visit closure may have set *or* cleared bits, and a
+/// stale-clear summary would make the hierarchical scan skip a hot
+/// subtree, so every traversal re-tightens summaries on the way out.
+#[inline]
+fn resync_summary(
+    a_sum: &mut [u64; SCAN_WORDS],
+    d_sum: &mut [u64; SCAN_WORDS],
+    idx: usize,
+    child: &Node,
+) {
+    let (a, d) = child_summary_flags(child);
+    let bit = 1u64 << (idx & 63);
+    set_bit(&mut a_sum[idx >> 6], bit, a);
+    set_bit(&mut d_sum[idx >> 6], bit, d);
+}
+
+/// Whether `child`'s subtree may hold a present PTE with the A/D bit set,
+/// judged from the child's own summary/bitmap state (not a full descent).
+#[inline]
+fn child_summary_flags(child: &Node) -> (bool, bool) {
+    match child {
+        Node::Interior(n) => (
+            n.a_sum.iter().any(|&w| w != 0),
+            n.d_sum.iter().any(|&w| w != 0),
+        ),
+        Node::Leaf(l) => {
+            let (mut a, mut d) = (0u64, 0u64);
+            for w in 0..SCAN_WORDS {
+                a |= l.a_words[w] & l.present_words[w];
+                d |= l.d_words[w] & l.present_words[w];
+            }
+            (a != 0, d != 0)
+        }
+        Node::Huge(p) => (p.present() && p.accessed(), p.present() && p.dirty()),
+    }
+}
+
+/// Exact walk-unit aggregates for a child subtree, as the flat walk would
+/// charge them: (PTE visits, leaf tables, interior nodes).
+#[inline]
+fn child_aggregates(child: &Node) -> (u64, u64, u64) {
+    match child {
+        Node::Interior(n) => (n.agg_ptes, n.agg_leaves, n.agg_interiors),
+        Node::Leaf(l) => (u64::from(l.present), 1, 0),
+        Node::Huge(_) => (1, 0, 0),
+    }
+}
+
+/// Per-scan pruning counters, exported as tmprof-obs metrics.
+#[derive(Default)]
+struct HierScanStats {
+    skipped: u64,
+    descended: u64,
 }
 
 /// Statistics describing a software traversal of the table, used by the
@@ -192,88 +349,169 @@ impl PageTable {
     pub fn map_huge(&mut self, base: Vpn, pte: Pte) -> Result<(), MapError> {
         assert!(base.0 % HUGE_SPAN == 0, "huge base {base:?} not aligned");
         assert!(pte.present() && pte.huge(), "huge PTE must be present+PS");
-        let mut node = &mut self.root;
-        for level in (2..RADIX_LEVELS).rev() {
-            let idx = base.radix_index(level);
-            let slot = &mut node.children[idx];
-            if slot.is_none() {
-                *slot = Some(Node::Interior(Box::new(Interior::new())));
-                node.live += 1;
+        let (delta, res) = Self::map_huge_rec(&mut self.root, RADIX_LEVELS - 1, base, pte);
+        self.mapped_pages += delta.ptes * HUGE_SPAN;
+        res
+    }
+
+    fn map_huge_rec(
+        node: &mut Interior,
+        level: usize,
+        base: Vpn,
+        pte: Pte,
+    ) -> (MapDelta, Result<(), MapError>) {
+        let idx = base.radix_index(level);
+        let mut delta = MapDelta::default();
+        let res = if level > 1 {
+            if node.children[idx].is_none() {
+                node.children[idx] = Some(Node::Interior(Box::new(Interior::new())));
+                node.set_live(idx);
+                delta.interiors += 1;
             }
-            node = match slot {
+            let next = match node.children[idx].as_mut() {
                 Some(Node::Interior(next)) => next,
                 // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
                 _ => unreachable!("leaf at interior level"),
             };
-        }
-        let idx = base.radix_index(1);
-        let slot = &mut node.children[idx];
-        match slot {
-            None => {
-                *slot = Some(Node::Huge(pte));
-                node.live += 1;
-                self.mapped_pages += HUGE_SPAN;
-                Ok(())
+            let (child_delta, res) = Self::map_huge_rec(next, level - 1, base, pte);
+            delta.absorb(child_delta);
+            res
+        } else {
+            match node.children[idx].as_mut() {
+                None => {
+                    node.children[idx] = Some(Node::Huge(pte));
+                    node.set_live(idx);
+                    delta.ptes += 1;
+                    Ok(())
+                }
+                Some(Node::Huge(old)) => {
+                    *old = pte;
+                    Ok(())
+                }
+                Some(_) => Err(MapError::HugeConflict { base }),
             }
-            Some(Node::Huge(old)) => {
-                *old = pte;
-                Ok(())
-            }
-            Some(_) => Err(MapError::HugeConflict { base }),
+        };
+        if res.is_ok() {
+            node.mark_child_bits(idx, pte.accessed(), pte.dirty());
         }
+        node.apply(delta);
+        (delta, res)
     }
 
     /// Remove a huge mapping, returning its PTE.
     pub fn unmap_huge(&mut self, base: Vpn) -> Option<Pte> {
         assert!(base.0 % HUGE_SPAN == 0);
-        let mut node = &mut self.root;
-        for level in (2..RADIX_LEVELS).rev() {
-            node = match node.children[base.radix_index(level)].as_mut()? {
-                Node::Interior(next) => next,
+        let old = Self::unmap_huge_rec(&mut self.root, RADIX_LEVELS - 1, base)?;
+        self.mapped_pages -= HUGE_SPAN;
+        Some(old)
+    }
+
+    fn unmap_huge_rec(node: &mut Interior, level: usize, base: Vpn) -> Option<Pte> {
+        let idx = base.radix_index(level);
+        let old = if level > 1 {
+            match node.children[idx].as_mut()? {
+                Node::Interior(next) => Self::unmap_huge_rec(next, level - 1, base)?,
                 _ => return None,
-            };
-        }
-        let slot = &mut node.children[base.radix_index(1)];
-        match slot {
-            Some(Node::Huge(pte)) => {
-                let old = *pte;
-                *slot = None;
-                node.live -= 1;
-                self.mapped_pages -= HUGE_SPAN;
-                Some(old)
             }
-            _ => None,
-        }
+        } else {
+            if !matches!(node.children[idx], Some(Node::Huge(_))) {
+                return None;
+            }
+            let Some(Node::Huge(old)) = node.children[idx].take() else {
+                return None;
+            };
+            node.clear_live(idx);
+            old
+        };
+        // The summary bits are left as-is: a stale-set bit over the now
+        // emptier subtree is conservative and re-tightens on the next scan.
+        node.agg_ptes -= 1;
+        Some(old)
     }
 
     /// Install (or replace) the translation for `vpn`.
     pub fn map(&mut self, vpn: Vpn, pte: Pte) {
         debug_assert!(pte.present(), "mapping a non-present PTE");
         debug_assert!(!pte.huge(), "use map_huge for PS mappings");
-        let leaf = Self::ensure_leaf(&mut self.root, vpn);
-        let pi = vpn.radix_index(0);
-        let slot = &mut leaf.ptes[pi];
-        if !slot.present() {
-            leaf.present += 1;
-            self.mapped_pages += 1;
+        let delta = Self::map_rec(&mut self.root, RADIX_LEVELS - 1, vpn, pte);
+        self.mapped_pages += delta.ptes;
+    }
+
+    fn map_rec(node: &mut Interior, level: usize, vpn: Vpn, pte: Pte) -> MapDelta {
+        let idx = vpn.radix_index(level);
+        let mut delta = MapDelta::default();
+        if level > 1 {
+            if node.children[idx].is_none() {
+                node.children[idx] = Some(Node::Interior(Box::new(Interior::new())));
+                node.set_live(idx);
+                delta.interiors += 1;
+            }
+            let next = match node.children[idx].as_mut() {
+                Some(Node::Interior(next)) => next,
+                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
+                _ => unreachable!("leaf at interior level"),
+            };
+            delta.absorb(Self::map_rec(next, level - 1, vpn, pte));
+        } else {
+            if node.children[idx].is_none() {
+                node.children[idx] = Some(Node::Leaf(Box::new(LeafTable::new())));
+                node.set_live(idx);
+                delta.leaves += 1;
+            }
+            match node.children[idx].as_mut() {
+                Some(Node::Leaf(leaf)) => {
+                    let pi = vpn.radix_index(0);
+                    if !leaf.ptes[pi].present() {
+                        leaf.present += 1;
+                        delta.ptes += 1;
+                    }
+                    leaf.ptes[pi] = pte;
+                    leaf.sync_slot(pi);
+                }
+                // tmprof-lint: allow(panic-hot-path) — mapping a 4 KiB page under a live huge mapping is a machine-level invariant breach: the walker would have hit the huge PTE instead of faulting, so no caller can reach this with a huge entry installed
+                Some(Node::Huge(_)) => panic!("range already covered by a huge mapping"),
+                // tmprof-lint: allow(panic-hot-path) — level-1 slots only ever hold Leaf or Huge nodes; an Interior here would mean the radix tree itself is corrupt
+                _ => unreachable!("interior at leaf level"),
+            }
         }
-        *slot = pte;
-        leaf.sync_slot(pi);
+        node.mark_child_bits(idx, pte.accessed(), pte.dirty());
+        node.apply(delta);
+        delta
     }
 
     /// Remove the translation for `vpn`, returning the prior entry.
     pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
-        let leaf = Self::find_leaf_mut(&mut self.root, vpn)?;
-        let pi = vpn.radix_index(0);
-        let slot = &mut leaf.ptes[pi];
-        if !slot.present() {
-            return None;
-        }
-        let old = *slot;
-        *slot = Pte::NONE;
-        leaf.present -= 1;
+        let old = Self::unmap_rec(&mut self.root, RADIX_LEVELS - 1, vpn)?;
         self.mapped_pages -= 1;
-        leaf.sync_slot(pi);
+        Some(old)
+    }
+
+    fn unmap_rec(node: &mut Interior, level: usize, vpn: Vpn) -> Option<Pte> {
+        let idx = vpn.radix_index(level);
+        let old = if level > 1 {
+            match node.children[idx].as_mut()? {
+                Node::Interior(next) => Self::unmap_rec(next, level - 1, vpn)?,
+                _ => return None,
+            }
+        } else {
+            match node.children[idx].as_mut()? {
+                Node::Leaf(leaf) => {
+                    let pi = vpn.radix_index(0);
+                    if !leaf.ptes[pi].present() {
+                        return None;
+                    }
+                    let old = leaf.ptes[pi];
+                    leaf.ptes[pi] = Pte::NONE;
+                    leaf.present -= 1;
+                    leaf.sync_slot(pi);
+                    old
+                }
+                _ => return None,
+            }
+        };
+        // Empty leaf tables stay in the tree (and in `agg_leaves`), exactly
+        // as the flat walk keeps touching them.
+        node.agg_ptes -= 1;
         Some(old)
     }
 
@@ -316,65 +554,27 @@ impl PageTable {
     pub fn entry_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
         let mut node = &mut self.root;
         for level in (2..RADIX_LEVELS).rev() {
-            node = match node.children[vpn.radix_index(level)].as_mut()? {
+            let idx = vpn.radix_index(level);
+            // The caller may set A/D through the returned reference; mark
+            // the whole descent path so the summaries stay supersets (a
+            // stale-set bit on a failed lookup is conservative and fine).
+            node.mark_child_ad(idx);
+            node = match node.children[idx].as_mut()? {
                 Node::Interior(next) => next,
                 _ => return None,
             };
         }
-        match node.children[vpn.radix_index(1)].as_mut()? {
+        let idx = vpn.radix_index(1);
+        node.mark_child_ad(idx);
+        match node.children[idx].as_mut()? {
             Node::Leaf(leaf) => {
                 let pi = vpn.radix_index(0);
-                // The caller may set A/D through the returned reference;
-                // mark the slot so the packed bitmaps stay supersets.
+                // Same marking at leaf granularity.
                 leaf.mark_slot_ad(pi);
                 Some(&mut leaf.ptes[pi])
             }
             Node::Huge(pte) => Some(pte),
             Node::Interior(_) => None,
-        }
-    }
-
-    fn ensure_leaf(root: &mut Interior, vpn: Vpn) -> &mut LeafTable {
-        let mut node = root;
-        for level in (2..RADIX_LEVELS).rev() {
-            let idx = vpn.radix_index(level);
-            let slot = &mut node.children[idx];
-            if slot.is_none() {
-                *slot = Some(Node::Interior(Box::new(Interior::new())));
-                node.live += 1;
-            }
-            node = match slot {
-                Some(Node::Interior(next)) => next,
-                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
-                _ => unreachable!("leaf at interior level"),
-            };
-        }
-        let idx = vpn.radix_index(1);
-        let slot = &mut node.children[idx];
-        if slot.is_none() {
-            *slot = Some(Node::Leaf(Box::new(LeafTable::new())));
-            node.live += 1;
-        }
-        match slot {
-            Some(Node::Leaf(leaf)) => leaf,
-            // tmprof-lint: allow(panic-hot-path) — mapping a 4 KiB page under a live huge mapping is a machine-level invariant breach: the walker would have hit the huge PTE instead of faulting, so no caller can reach this with a huge entry installed
-            Some(Node::Huge(_)) => panic!("range already covered by a huge mapping"),
-            // tmprof-lint: allow(panic-hot-path) — level-1 slots only ever hold Leaf or Huge nodes; an Interior here would mean the radix tree itself is corrupt
-            _ => unreachable!("interior at leaf level"),
-        }
-    }
-
-    fn find_leaf_mut(root: &mut Interior, vpn: Vpn) -> Option<&mut LeafTable> {
-        let mut node = root;
-        for level in (2..RADIX_LEVELS).rev() {
-            node = match node.children[vpn.radix_index(level)].as_mut()? {
-                Node::Interior(next) => next,
-                _ => return None,
-            };
-        }
-        match node.children[vpn.radix_index(1)].as_mut()? {
-            Node::Leaf(leaf) => Some(leaf),
-            _ => None,
         }
     }
 
@@ -396,7 +596,13 @@ impl PageTable {
         fp: &mut WalkFootprint,
         visit: &mut impl FnMut(Vpn, &mut Pte),
     ) {
-        for (idx, child) in node.children.iter_mut().enumerate() {
+        let Interior {
+            children,
+            a_sum,
+            d_sum,
+            ..
+        } = node;
+        for (idx, child) in children.iter_mut().enumerate() {
             let Some(child) = child else { continue };
             let child_prefix = (prefix << RADIX_BITS) | idx as u64;
             match child {
@@ -423,6 +629,7 @@ impl PageTable {
                     visit(vpn, pte);
                 }
             }
+            resync_summary(a_sum, d_sum, idx, child);
         }
     }
 
@@ -476,9 +683,13 @@ impl PageTable {
         resume: &mut Option<Vpn>,
         visit: &mut impl FnMut(Vpn, &mut Pte),
     ) -> bool {
-        // Skip subtrees wholly below the start VPN.
-        let start_idx_at = |lvl: usize| start.radix_index(lvl);
-        for (idx, child) in node.children.iter_mut().enumerate() {
+        let Interior {
+            children,
+            a_sum,
+            d_sum,
+            ..
+        } = node;
+        for (idx, child) in children.iter_mut().enumerate() {
             // Prune children strictly before the start prefix at this level.
             let child_prefix = (prefix << RADIX_BITS) | idx as u64;
             let span_bits = RADIX_BITS as usize * level;
@@ -487,12 +698,11 @@ impl PageTable {
             if child_last_vpn < start.0 {
                 continue;
             }
-            let _ = start_idx_at;
             let Some(child) = child else { continue };
-            match child {
+            let truncated = match child {
                 Node::Interior(next) => {
                     fp.interior_nodes += 1;
-                    if Self::walk_node_bounded(
+                    Self::walk_node_bounded(
                         next,
                         level - 1,
                         child_prefix,
@@ -501,12 +711,11 @@ impl PageTable {
                         fp,
                         resume,
                         visit,
-                    ) {
-                        return true;
-                    }
+                    )
                 }
                 Node::Leaf(leaf) => {
                     fp.leaf_tables += 1;
+                    let mut trunc = false;
                     for pi in 0..FANOUT {
                         let vpn = Vpn((child_prefix << RADIX_BITS) | pi as u64);
                         if vpn.0 < start.0 || !leaf.ptes[pi].present() {
@@ -514,12 +723,14 @@ impl PageTable {
                         }
                         if fp.ptes_visited >= limit {
                             *resume = Some(vpn);
-                            return true;
+                            trunc = true;
+                            break;
                         }
                         fp.ptes_visited += 1;
                         visit(vpn, &mut leaf.ptes[pi]);
                         leaf.sync_slot(pi);
                     }
+                    trunc
                 }
                 Node::Huge(pte) => {
                     let vpn = Vpn(child_prefix << RADIX_BITS);
@@ -529,15 +740,23 @@ impl PageTable {
                     // huge span re-visits the entry, double-counting its
                     // footprint and re-clearing its A bit.
                     if vpn.0 < start.0 {
-                        continue;
-                    }
-                    if fp.ptes_visited >= limit {
+                        false
+                    } else if fp.ptes_visited >= limit {
                         *resume = Some(vpn);
-                        return true;
+                        true
+                    } else {
+                        fp.ptes_visited += 1;
+                        visit(vpn, pte);
+                        false
                     }
-                    fp.ptes_visited += 1;
-                    visit(vpn, pte);
                 }
+            };
+            // Re-tighten this child's summary even on truncation: the
+            // closure may have set or cleared bits before the budget ran
+            // out, and a stale-clear summary must never survive.
+            resync_summary(a_sum, d_sum, idx, child);
+            if truncated {
+                return true;
             }
         }
         false
@@ -622,7 +841,13 @@ impl PageTable {
         resume: &mut Option<Vpn>,
         visit: &mut impl FnMut(Vpn, &mut Pte),
     ) -> bool {
-        for (idx, child) in node.children.iter_mut().enumerate() {
+        let Interior {
+            children,
+            a_sum,
+            d_sum,
+            ..
+        } = node;
+        for (idx, child) in children.iter_mut().enumerate() {
             let child_prefix = (prefix << RADIX_BITS) | idx as u64;
             let span_bits = RADIX_BITS as usize * level;
             let child_first_vpn = child_prefix << span_bits;
@@ -631,10 +856,10 @@ impl PageTable {
                 continue;
             }
             let Some(child) = child else { continue };
-            match child {
+            let truncated = match child {
                 Node::Interior(next) => {
                     fp.interior_nodes += 1;
-                    if Self::scan_node_bounded(
+                    Self::scan_node_bounded(
                         next,
                         level - 1,
                         child_prefix,
@@ -644,77 +869,297 @@ impl PageTable {
                         fp,
                         resume,
                         visit,
-                    ) {
-                        return true;
-                    }
+                    )
                 }
                 Node::Leaf(leaf) => {
                     fp.leaf_tables += 1;
-                    let base = child_prefix << RADIX_BITS;
-                    for w in 0..SCAN_WORDS {
-                        let word_base = base | ((w as u64) << 6);
-                        if word_base + 63 < start.0 {
-                            continue;
-                        }
-                        // Present slots at or after the cursor in this word.
-                        let mut live = leaf.present_words[w];
-                        if word_base < start.0 {
-                            live &= !0u64 << (start.0 - word_base);
-                        }
-                        if live == 0 {
-                            continue;
-                        }
-                        // The scalar walk consumes one budget unit per
-                        // present PTE; replicate that with a popcount, and
-                        // truncate the word at the slot where the budget
-                        // runs out so the resume cursor lands exactly where
-                        // the scalar walk's would.
-                        let avail = u64::from(live.count_ones());
-                        let budget_left = limit - fp.ptes_visited;
-                        let span = if avail > budget_left {
-                            let mut rest = live;
-                            for _ in 0..budget_left {
-                                rest &= rest - 1;
-                            }
-                            let resume_bit = u64::from(rest.trailing_zeros());
-                            *resume = Some(Vpn(word_base | resume_bit));
-                            live & ((1u64 << resume_bit) - 1)
-                        } else {
-                            live
-                        };
-                        let mut cand = leaf.a_or_d_word(which, w) & span;
-                        while cand != 0 {
-                            let bit = cand.trailing_zeros() as usize;
-                            cand &= cand - 1;
-                            let pi = (w << 6) | bit;
-                            visit(Vpn(word_base | bit as u64), &mut leaf.ptes[pi]);
-                            leaf.sync_slot(pi);
-                        }
-                        fp.ptes_visited += u64::from(span.count_ones());
-                        if resume.is_some() {
-                            return true;
-                        }
-                    }
+                    Self::scan_leaf_words(
+                        leaf,
+                        child_prefix,
+                        which,
+                        start,
+                        limit,
+                        fp,
+                        resume,
+                        visit,
+                    )
                 }
                 Node::Huge(pte) => {
-                    let vpn = Vpn(child_prefix << RADIX_BITS);
-                    if vpn.0 < start.0 {
-                        continue;
+                    Self::scan_huge_entry(pte, child_prefix, which, start, limit, fp, resume, visit)
+                }
+            };
+            resync_summary(a_sum, d_sum, idx, child);
+            if truncated {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The authoritative word-wise leaf scan, shared verbatim by the flat
+    /// and hierarchical modes. Returns true when the budget ran out inside
+    /// this leaf (`resume` then holds the cursor).
+    #[allow(clippy::too_many_arguments)]
+    fn scan_leaf_words(
+        leaf: &mut LeafTable,
+        child_prefix: u64,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        fp: &mut WalkFootprint,
+        resume: &mut Option<Vpn>,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> bool {
+        let base = child_prefix << RADIX_BITS;
+        for w in 0..SCAN_WORDS {
+            let word_base = base | ((w as u64) << 6);
+            if word_base + 63 < start.0 {
+                continue;
+            }
+            // Present slots at or after the cursor in this word.
+            let mut live = leaf.present_words[w];
+            if word_base < start.0 {
+                live &= !0u64 << (start.0 - word_base);
+            }
+            if live == 0 {
+                continue;
+            }
+            // The scalar walk consumes one budget unit per present PTE;
+            // replicate that with a popcount, and truncate the word at the
+            // slot where the budget runs out so the resume cursor lands
+            // exactly where the scalar walk's would.
+            let avail = u64::from(live.count_ones());
+            let budget_left = limit - fp.ptes_visited;
+            let span = if avail > budget_left {
+                let mut rest = live;
+                for _ in 0..budget_left {
+                    rest &= rest - 1;
+                }
+                let resume_bit = u64::from(rest.trailing_zeros());
+                *resume = Some(Vpn(word_base | resume_bit));
+                live & ((1u64 << resume_bit) - 1)
+            } else {
+                live
+            };
+            let mut cand = leaf.a_or_d_word(which, w) & span;
+            while cand != 0 {
+                let bit = cand.trailing_zeros() as usize;
+                cand &= cand - 1;
+                let pi = (w << 6) | bit;
+                visit(Vpn(word_base | bit as u64), &mut leaf.ptes[pi]);
+                leaf.sync_slot(pi);
+            }
+            fp.ptes_visited += u64::from(span.count_ones());
+            if resume.is_some() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Scan-mode visit of one huge entry; shared by the flat and
+    /// hierarchical modes.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_huge_entry(
+        pte: &mut Pte,
+        child_prefix: u64,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        fp: &mut WalkFootprint,
+        resume: &mut Option<Vpn>,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> bool {
+        let vpn = Vpn(child_prefix << RADIX_BITS);
+        if vpn.0 < start.0 {
+            return false;
+        }
+        if fp.ptes_visited >= limit {
+            *resume = Some(vpn);
+            return true;
+        }
+        fp.ptes_visited += 1;
+        // Huge entries keep their A/D at the PTE itself (one bit per
+        // 2 MiB); gate the visit on the live bit.
+        let candidate = match which {
+            ScanBit::Accessed => pte.accessed(),
+            ScanBit::Dirty => pte.dirty(),
+        };
+        if candidate {
+            visit(vpn, pte);
+        }
+        false
+    }
+
+    /// Hierarchical budgeted A-bit scan (Telescope-style, behind
+    /// `TMPROF_HIER_SCAN`): prune whole cold subtrees using the interior
+    /// summary words before touching leaf words.
+    ///
+    /// Contract-identical to [`PageTable::scan_accessed_bounded`]: same
+    /// observations, same cleared bits, same [`WalkFootprint`] (a skipped
+    /// subtree is charged its exact aggregate footprint), same budget
+    /// consumption, and the same resume cursor — so the simulated cost
+    /// model and every committed CSV are unchanged whether or not the
+    /// hierarchical mode is on. A subtree is skipped only when its summary
+    /// bit is clear (proving it holds no candidates), it lies wholly at or
+    /// after the cursor, and its full visit count fits the remaining
+    /// budget (otherwise the flat cursor would stop inside it).
+    pub fn hier_scan_accessed_bounded(
+        &mut self,
+        start: Vpn,
+        limit: u64,
+        mut visit: impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        self.hier_scan_bit_bounded(ScanBit::Accessed, start, limit, &mut visit)
+    }
+
+    /// Hierarchical budgeted D-bit scan; same contract as
+    /// [`PageTable::hier_scan_accessed_bounded`] with `d_sum` summaries.
+    pub fn hier_scan_dirty_bounded(
+        &mut self,
+        start: Vpn,
+        limit: u64,
+        mut visit: impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        self.hier_scan_bit_bounded(ScanBit::Dirty, start, limit, &mut visit)
+    }
+
+    fn hier_scan_bit_bounded(
+        &mut self,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> (WalkFootprint, Option<Vpn>) {
+        let mut fp = WalkFootprint {
+            interior_nodes: 1,
+            ..Default::default()
+        };
+        let mut resume = None;
+        let mut stats = HierScanStats::default();
+        if limit > 0 {
+            Self::hier_scan_node(
+                &mut self.root,
+                RADIX_LEVELS - 1,
+                0,
+                which,
+                start,
+                limit,
+                &mut fp,
+                &mut resume,
+                &mut stats,
+                visit,
+            );
+        } else {
+            resume = Some(start);
+        }
+        metrics::add(Metric::SimHierSubtreesSkipped, stats.skipped);
+        metrics::add(Metric::SimHierSubtreesDescended, stats.descended);
+        (fp, resume)
+    }
+
+    /// Recursive helper for the hierarchical scan. Occupied children are
+    /// found via `live_words` (64 slots per load); a child whose summary
+    /// bit is clear, whose span lies wholly at/after the cursor, and whose
+    /// aggregate visit count fits the remaining budget is charged its
+    /// exact footprint and skipped in O(1). Everything else descends into
+    /// the same leaf/huge arms as the flat scan, then re-tightens the
+    /// summary bit on the way out.
+    #[allow(clippy::too_many_arguments)]
+    fn hier_scan_node(
+        node: &mut Interior,
+        level: usize,
+        prefix: u64,
+        which: ScanBit,
+        start: Vpn,
+        limit: u64,
+        fp: &mut WalkFootprint,
+        resume: &mut Option<Vpn>,
+        stats: &mut HierScanStats,
+        visit: &mut impl FnMut(Vpn, &mut Pte),
+    ) -> bool {
+        let Interior {
+            children,
+            live_words,
+            a_sum,
+            d_sum,
+            ..
+        } = node;
+        let span_bits = RADIX_BITS as usize * level;
+        for lw in 0..SCAN_WORDS {
+            let mut occ = live_words[lw];
+            while occ != 0 {
+                let idx = (lw << 6) | occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let child_prefix = (prefix << RADIX_BITS) | idx as u64;
+                let child_first_vpn = child_prefix << span_bits;
+                let child_last_vpn = child_first_vpn + (1u64 << span_bits) - 1;
+                if child_last_vpn < start.0 {
+                    continue;
+                }
+                let Some(child) = children[idx].as_mut() else {
+                    continue;
+                };
+                let summary_word = match which {
+                    ScanBit::Accessed => a_sum[lw],
+                    ScanBit::Dirty => d_sum[lw],
+                };
+                let cold = summary_word & (1u64 << (idx & 63)) == 0;
+                let (agg_ptes, agg_leaves, agg_interiors) = child_aggregates(child);
+                if cold && child_first_vpn >= start.0 && agg_ptes <= limit - fp.ptes_visited {
+                    // Provably no candidates, wholly at/after the cursor,
+                    // and the flat cursor could not stop inside it: charge
+                    // the exact footprint and prune the whole subtree.
+                    fp.ptes_visited += agg_ptes;
+                    fp.leaf_tables += agg_leaves;
+                    fp.interior_nodes += agg_interiors;
+                    stats.skipped += 1;
+                    continue;
+                }
+                stats.descended += 1;
+                let truncated = match child {
+                    Node::Interior(next) => {
+                        fp.interior_nodes += 1;
+                        Self::hier_scan_node(
+                            next,
+                            level - 1,
+                            child_prefix,
+                            which,
+                            start,
+                            limit,
+                            fp,
+                            resume,
+                            stats,
+                            visit,
+                        )
                     }
-                    if fp.ptes_visited >= limit {
-                        *resume = Some(vpn);
-                        return true;
+                    Node::Leaf(leaf) => {
+                        fp.leaf_tables += 1;
+                        Self::scan_leaf_words(
+                            leaf,
+                            child_prefix,
+                            which,
+                            start,
+                            limit,
+                            fp,
+                            resume,
+                            visit,
+                        )
                     }
-                    fp.ptes_visited += 1;
-                    // Huge entries keep their A/D at the PTE itself (one
-                    // bit per 2 MiB); gate the visit on the live bit.
-                    let candidate = match which {
-                        ScanBit::Accessed => pte.accessed(),
-                        ScanBit::Dirty => pte.dirty(),
-                    };
-                    if candidate {
-                        visit(vpn, pte);
-                    }
+                    Node::Huge(pte) => Self::scan_huge_entry(
+                        pte,
+                        child_prefix,
+                        which,
+                        start,
+                        limit,
+                        fp,
+                        resume,
+                        visit,
+                    ),
+                };
+                resync_summary(a_sum, d_sum, idx, child);
+                if truncated {
+                    return true;
                 }
             }
         }
@@ -1078,6 +1523,206 @@ mod tests {
     }
 
     #[test]
+    fn hier_scan_matches_packed_scan() {
+        // Three-way cycle: the hierarchical scan must stay in lockstep with
+        // the flat packed scan (itself proven against the scalar walk
+        // above) — observations, footprints, and cursors — across budgets
+        // that truncate at every level.
+        let build = || {
+            let mut pt = mixed_shape_table();
+            for v in [0u64, 63 * 2, 64 * 2, 511 * 2, 512 * 2, 699 * 2] {
+                pt.entry_mut(Vpn(v)).unwrap().set(crate::pte::bits::A);
+            }
+            pt.entry_mut(Vpn(4096 + 17))
+                .unwrap()
+                .set(crate::pte::bits::A);
+            pt
+        };
+        for budget in [1u64, 3, 64, 701, u64::MAX] {
+            let (mut flat_pt, mut hier_pt) = (build(), build());
+            let mut cursor = Vpn(0);
+            loop {
+                let mut hits_f = Vec::new();
+                let (fp_f, res_f) = flat_pt.scan_accessed_bounded(cursor, budget, |vpn, pte| {
+                    if pte.test_and_clear_accessed() {
+                        hits_f.push(vpn);
+                    }
+                });
+                let mut hits_h = Vec::new();
+                let (fp_h, res_h) =
+                    hier_pt.hier_scan_accessed_bounded(cursor, budget, |vpn, pte| {
+                        if pte.test_and_clear_accessed() {
+                            hits_h.push(vpn);
+                        }
+                    });
+                assert_eq!(hits_f, hits_h, "budget {budget}: observations diverged");
+                assert_eq!(fp_f, fp_h, "budget {budget}: footprints diverged");
+                assert_eq!(res_f, res_h, "budget {budget}: cursors diverged");
+                match res_f {
+                    Some(v) => cursor = v,
+                    None => break,
+                }
+            }
+            let mut left = 0;
+            hier_pt.walk_present(|_, pte| left += pte.accessed() as u32);
+            assert_eq!(left, 0, "budget {budget}: stale A bits remain");
+        }
+    }
+
+    #[test]
+    fn hier_scan_prunes_cold_subtrees_but_charges_exact_footprint() {
+        // 4096 mapped pages in 8 leaf tables, one hot page: the
+        // hierarchical scan must find the one candidate, skip the 7 cold
+        // leaves without loading their words, and still report the flat
+        // scan's exact footprint (the cost model is unchanged).
+        let mut pt = PageTable::new();
+        for v in 0..4096u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        pt.entry_mut(Vpn(2049)).unwrap().set(crate::pte::bits::A);
+        // A full clearing pass first: entry_mut conservatively marked the
+        // whole descent path, so summaries only tighten after one scan.
+        let mut warm = PageTable::new();
+        for v in 0..4096u64 {
+            warm.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        let (flat_fp, _) = warm.scan_accessed_bounded(Vpn(0), u64::MAX, |_, _| {});
+        let before_skipped = metrics::get(Metric::SimHierSubtreesSkipped);
+        let mut hits = Vec::new();
+        let (fp, resume) = pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                hits.push(vpn);
+            }
+        });
+        assert_eq!(hits, vec![Vpn(2049)]);
+        assert_eq!(fp.ptes_visited, 4096);
+        assert_eq!(fp.leaf_tables, 8);
+        assert_eq!(fp, flat_fp);
+        assert_eq!(resume, None);
+        // Second scan: everything is cold and summaries are tight, so the
+        // top-level subtree is pruned outright.
+        let (fp2, _) = pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |_, _| {
+            panic!("no candidates remain");
+        });
+        assert_eq!(fp2, fp, "pruned footprint drifted");
+        assert!(
+            metrics::get(Metric::SimHierSubtreesSkipped) > before_skipped,
+            "cold subtrees were not pruned"
+        );
+    }
+
+    #[test]
+    fn hier_scan_descends_stale_set_summaries() {
+        // Regression: a stale-SET summary bit (entry_mut marked the path
+        // but the caller never set A, then the page went cold) must make
+        // the hierarchical scan descend — and charge the same footprint as
+        // the flat scan, not a blind aggregate.
+        let mut pt = PageTable::new();
+        for v in 0..1024u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        // Touch without setting A: summaries along the path go stale-set
+        // (and so does the leaf word — both scans see a false candidate).
+        let _ = pt.entry_mut(Vpn(700)).unwrap();
+        let mut flat = PageTable::new();
+        for v in 0..1024u64 {
+            flat.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        let _ = flat.entry_mut(Vpn(700)).unwrap();
+        let mut cand_f = Vec::new();
+        let (flat_fp, flat_res) = flat.scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            assert!(!pte.test_and_clear_accessed());
+            cand_f.push(vpn);
+        });
+        let mut cand_h = Vec::new();
+        let (fp, res) = pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            assert!(!pte.test_and_clear_accessed());
+            cand_h.push(vpn);
+        });
+        assert_eq!(cand_f, vec![Vpn(700)], "stale-set candidate not probed");
+        assert_eq!(cand_h, cand_f, "candidate probes diverged");
+        assert_eq!(fp, flat_fp);
+        assert_eq!(res, flat_res);
+    }
+
+    #[test]
+    fn walk_closures_resync_summaries_for_the_hier_scan() {
+        // Regression for the stale-CLEAR hazard: after a full scan leaves
+        // every summary clear, a walk closure sets an A bit directly on the
+        // PTE. The walk must re-tighten the summaries on its way out, or
+        // the next hierarchical scan would prune the now-hot subtree.
+        let mut pt = PageTable::new();
+        for v in 0..1024u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |_, pte| {
+            pte.test_and_clear_accessed();
+        });
+        pt.walk_present(|vpn, pte| {
+            if vpn == Vpn(777) {
+                pte.set(crate::pte::bits::A);
+            }
+        });
+        let mut hits = Vec::new();
+        pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |vpn, pte| {
+            if pte.test_and_clear_accessed() {
+                hits.push(vpn);
+            }
+        });
+        assert_eq!(hits, vec![Vpn(777)], "hier scan missed a walk-set A bit");
+    }
+
+    #[test]
+    fn hier_scan_matches_flat_after_map_unmap_huge_churn() {
+        // Aggregates must survive huge conflicts, unmaps, and remaps: the
+        // unbounded hierarchical footprint equals walk_present's.
+        let build = || {
+            let mut pt = mixed_shape_table();
+            let mut huge = Pte::new(Pfn(1 << 15), true);
+            huge.set(crate::pte::bits::PS);
+            // Conflicts with the base pages at 0..1400: rejected, no change.
+            assert!(pt.map_huge(Vpn(512), huge).is_err());
+            pt.map_huge(Vpn(8192), huge).unwrap();
+            pt.unmap_huge(Vpn(8192)).unwrap();
+            pt.map_huge(Vpn(8192), huge).unwrap();
+            for v in 200..260u64 {
+                pt.unmap(Vpn(v * 2));
+            }
+            pt
+        };
+        let mut flat = build();
+        let mut hier = build();
+        let flat_fp = flat.walk_present(|_, _| {});
+        let (hier_fp, res) = hier.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |_, _| {});
+        assert_eq!(hier_fp, flat_fp, "aggregates drifted from the real tree");
+        assert_eq!(res, None);
+        assert_eq!(flat.mapped_pages(), hier.mapped_pages());
+    }
+
+    #[test]
+    fn hier_scan_budget_lands_inside_cold_subtree() {
+        // When the budget runs out inside a cold subtree the flat cursor
+        // stops there, so the hierarchical scan must descend (the skip
+        // test fails) and leave the identical mid-subtree cursor.
+        let mut pt = PageTable::new();
+        for v in 0..2048u64 {
+            pt.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        pt.hier_scan_accessed_bounded(Vpn(0), u64::MAX, |_, _| {}); // tighten
+        let mut flat = PageTable::new();
+        for v in 0..2048u64 {
+            flat.map(Vpn(v), Pte::new(Pfn(v), true));
+        }
+        flat.scan_accessed_bounded(Vpn(0), u64::MAX, |_, _| {});
+        for budget in [1u64, 100, 511, 512, 513, 1000] {
+            let (fp_f, res_f) = flat.scan_accessed_bounded(Vpn(0), budget, |_, _| {});
+            let (fp_h, res_h) = pt.hier_scan_accessed_bounded(Vpn(0), budget, |_, _| {});
+            assert_eq!(fp_f, fp_h, "budget {budget}");
+            assert_eq!(res_f, res_h, "budget {budget}");
+        }
+    }
+
+    #[test]
     fn packed_scan_skips_clear_words_but_counts_them() {
         // 4096 mapped pages, only one accessed: the packed scan still
         // charges the full footprint (the cost model is unchanged) while
@@ -1117,6 +1762,34 @@ mod tests {
         assert_eq!(fp.ptes_visited, 128);
         // Bits cleared: a second scan sees nothing.
         let (_, _) = pt.scan_dirty_bounded(Vpn(0), u64::MAX, |_, _| panic!("dirty bit left set"));
+    }
+
+    #[test]
+    fn hier_scan_dirty_matches_flat() {
+        let build = || {
+            let mut pt = mixed_shape_table();
+            pt.entry_mut(Vpn(7 * 2)).unwrap().set(crate::pte::bits::D);
+            pt.entry_mut(Vpn(650 * 2)).unwrap().set(crate::pte::bits::D);
+            pt
+        };
+        let (mut flat, mut hier) = (build(), build());
+        for budget in [5u64, u64::MAX] {
+            let mut d_f = Vec::new();
+            let (fp_f, res_f) = flat.scan_dirty_bounded(Vpn(0), budget, |vpn, pte| {
+                if pte.test_and_clear_dirty() {
+                    d_f.push(vpn);
+                }
+            });
+            let mut d_h = Vec::new();
+            let (fp_h, res_h) = hier.hier_scan_dirty_bounded(Vpn(0), budget, |vpn, pte| {
+                if pte.test_and_clear_dirty() {
+                    d_h.push(vpn);
+                }
+            });
+            assert_eq!(d_f, d_h, "budget {budget}");
+            assert_eq!(fp_f, fp_h, "budget {budget}");
+            assert_eq!(res_f, res_h, "budget {budget}");
+        }
     }
 
     #[test]
