@@ -52,6 +52,7 @@ fn main() {
         let grid = hitrate_grid(&run.log, &PAPER_RATIOS);
         for (&denom, ratio_cells) in PAPER_RATIOS.iter().zip(grid.chunks(7)) {
             let mut row = vec![format!("1/{denom}")];
+            // tmprof-lint: allow(determinism-taint) — the map is only probed by (policy, source) key to lay out a fixed row order; its iteration order never reaches the CSV
             let mut cells = std::collections::HashMap::new();
             for cell in &ratio_cells[..6] {
                 cells.insert((cell.policy, cell.source), cell.hitrate);

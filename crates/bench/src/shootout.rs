@@ -179,6 +179,7 @@ pub fn score_thermostat(kind: WorkloadKind, scale: &Scale) -> Scorecard {
     }
     let truth = machine.truth().lifetime_mem().clone();
     // Thermostat's estimate is binary; score its hot set.
+    // tmprof-lint: allow(determinism-taint) — the estimate map is probed by key against the sorted truth ranking; its iteration order is never observed
     let estimate: HashMap<u64, u64> = th.hot_pages().into_iter().map(|k| (k, 1)).collect();
     let n = (truth.len() / 16).max(1);
     Scorecard {

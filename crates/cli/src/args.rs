@@ -60,6 +60,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, ArgError
     if command.starts_with('-') {
         return Err(ArgError::NoCommand);
     }
+    // tmprof-lint: allow(determinism-taint) — options are looked up by flag name only; the map's iteration order never reaches the journal or output
     let mut options = HashMap::new();
     let mut switches = Vec::new();
     while let Some(arg) = iter.next() {

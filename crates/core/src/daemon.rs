@@ -258,6 +258,7 @@ impl EpochPipeline {
                 tmprof_obs::metrics::inc(tmprof_obs::metrics::Metric::CorePipelineDeferred);
                 w.tx.as_ref()
                     .and_then(|tx| tx.send(job).ok())
+                    // tmprof-lint: allow(panic-reachability) — a hung epoch-close worker is an unrecoverable harness fault; the send only fails if the worker thread exited
                     .expect("epoch-close worker hung up");
             }
             None => job(),

@@ -151,6 +151,7 @@ impl Tmp {
         let both_pages = both.len();
         self.both_seen
             .lock()
+            // tmprof-lint: allow(panic-reachability) — a poisoned lock means a scan thread already panicked; propagating is the only sane response
             .expect("both_seen poisoned")
             .merge_unsorted(both);
 
@@ -219,6 +220,7 @@ impl Tmp {
             let both: Vec<u64> = abit_set.intersection(&trace_set).collect();
             both_seen
                 .lock()
+                // tmprof-lint: allow(panic-reachability) — a poisoned lock means a scan thread already panicked; propagating is the only sane response
                 .expect("both_seen poisoned")
                 .merge_unsorted(both);
         }));

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 pub fn scale_factor() -> u64 {
     let _t = Instant::now();
+    // tmprof-lint: allow(knob-flow) — bench fixtures read their scale knob directly; the registry twin documents the name
     match std::env::var("TMPROF_SCALE") {
         Ok(v) => v.parse().unwrap_or(1),
         Err(_) => 1,

@@ -1,4 +1,4 @@
-//! Clean twin of the `panic-hot-path` fixture: the recoverable case
+//! Clean twin of the `panic-reachability` fixture: the recoverable case
 //! returns a typed error; the genuine invariant carries an annotation.
 pub enum TranslateError {
     NotMapped,
@@ -7,7 +7,7 @@ pub enum TranslateError {
 pub fn translate(slot: Option<u64>) -> Result<u64, TranslateError> {
     let pfn = slot.ok_or(TranslateError::NotMapped)?;
     if pfn == u64::MAX {
-        // tmprof-lint: allow(panic-hot-path) — MAX is the poison pfn; reaching it means the walker corrupted state
+        // tmprof-lint: allow(panic-reachability) — MAX is the poison pfn; reaching it means the walker corrupted state
         panic!("translation did not converge");
     }
     Ok(pfn)

@@ -8,9 +8,13 @@ pub fn truncate_word(live: u64, budget: u64) -> (u64, u32) {
         rest &= rest.wrapping_sub(1);
     }
     if rest == 0 {
-        // tmprof-lint: allow(panic-hot-path) — callers only truncate when the word holds more candidates than budget, so the remainder is non-empty
+        // tmprof-lint: allow(panic-reachability) — callers only truncate when the word holds more candidates than budget, so the remainder is non-empty
         panic!("budget exhausted an empty word");
     }
     let resume = rest.trailing_zeros();
     (live & ((1u64 << resume) - 1), resume)
+}
+
+pub fn hier_scan_words(live: u64) -> (u64, u32) {
+    truncate_word(live, 1)
 }

@@ -1,0 +1,5 @@
+//! `main` writes the CSV but never observes the stopwatch.
+fn main() {
+    let tab = Table;
+    tab.write_csv();
+}

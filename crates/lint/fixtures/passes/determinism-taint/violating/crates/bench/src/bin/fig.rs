@@ -1,0 +1,7 @@
+//! `main` observes the wall-clock value *and* writes the CSV — the
+//! common caller that completes the source→sink flow.
+fn main() {
+    let _t = now_ms();
+    let tab = Table;
+    tab.write_csv();
+}

@@ -1,0 +1,7 @@
+//! Violating: a wall-clock source whose caller also reaches the CSV
+//! sink. (`Instant` is legal in crates/bench for the lexical rule; the
+//! taint pass still tracks where its value can flow.)
+pub fn now_ms() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

@@ -1,0 +1,16 @@
+//! Clean twin: the read lives in the registry file, the one place
+//! `env::var("TMPROF_*")` is allowed.
+pub struct Knob {
+    pub name: &'static str,
+}
+
+pub const SNEAKY: Knob = Knob {
+    name: "TMPROF_SNEAKY",
+};
+
+pub fn sneaky() -> usize {
+    std::env::var(SNEAKY.name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}

@@ -1,0 +1,5 @@
+//! Clean twin: sim takes the already-resolved value as a parameter
+//! instead of reading the environment itself.
+pub fn cap(resolved: usize) -> usize {
+    resolved.max(1)
+}

@@ -1,0 +1,10 @@
+//! The fixture knob registry: the name is documented here, so the
+//! lexical `knob-registry` rule is satisfied — only the *read location*
+//! is wrong.
+pub struct Knob {
+    pub name: &'static str,
+}
+
+pub const SNEAKY: Knob = Knob {
+    name: "TMPROF_SNEAKY",
+};

@@ -1,0 +1,11 @@
+//! Violating: a TMPROF knob read outside the registry file, with the
+//! env name hidden behind a named const (resolved by dataflow, not
+//! string matching).
+pub const SNEAKY: &str = "TMPROF_SNEAKY";
+
+pub fn cap() -> usize {
+    std::env::var(SNEAKY)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}

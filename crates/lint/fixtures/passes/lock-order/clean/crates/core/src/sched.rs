@@ -1,0 +1,22 @@
+//! Clean twin: every path takes `alpha` before `beta` — one global
+//! order, no cycle.
+use std::sync::Mutex;
+
+pub struct Sched {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Sched {
+    pub fn ab(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn ab_again(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a * *b
+    }
+}

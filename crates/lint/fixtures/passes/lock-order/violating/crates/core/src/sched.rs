@@ -1,0 +1,22 @@
+//! Violating: two fns acquire the same two locks in opposite orders —
+//! a deadlock waiting for the first concurrent caller pair.
+use std::sync::Mutex;
+
+pub struct Sched {
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+}
+
+impl Sched {
+    pub fn ab(&self) -> u64 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u64 {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+        *a + *b
+    }
+}

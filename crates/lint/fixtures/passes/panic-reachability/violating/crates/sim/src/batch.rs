@@ -1,0 +1,10 @@
+//! Violating: a bare unwrap and an unmasked slice index, both in a
+//! helper transitively reachable from the `exec_batch` hot entry.
+pub fn exec_batch(v: &[u64], i: usize) -> u64 {
+    lookup(v, i)
+}
+
+fn lookup(v: &[u64], i: usize) -> u64 {
+    let first = v.first().copied().unwrap();
+    first + v[i]
+}

@@ -1,0 +1,5 @@
+//! Hot entry for the panic-reachability fixtures: `exec_batch` reaches
+//! `translate` (machine.rs) across the file boundary.
+pub fn exec_batch(slot: Option<u64>) -> u64 {
+    translate(slot)
+}

@@ -1,5 +1,5 @@
-//! Fixture: `panic-hot-path` — bare unwrap/panic in the sim hot path
-//! with no invariant annotation.
+//! Fixture: `panic-reachability` — bare unwrap/panic reachable from the
+//! `exec_batch` hot entry (batch.rs), with no invariant annotation.
 pub fn translate(slot: Option<u64>) -> u64 {
     let pfn = slot.unwrap();
     if pfn == u64::MAX {

@@ -266,6 +266,11 @@ fn lex_string(b: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
         match b[i] {
             '\\' => {
                 // Keep escapes opaque; the rules only match plain prefixes.
+                // A backslash-newline continuation still ends a source
+                // line, so count it or every later token anchors high.
+                if b.get(i + 1) == Some(&'\n') {
+                    line += 1;
+                }
                 i += 2;
             }
             '"' => {
@@ -510,6 +515,13 @@ fn also_live() {}
         assert_eq!(l.test_spans.len(), 1);
         assert!(l.in_test(3) && l.in_test(4));
         assert!(!l.in_test(1) && !l.in_test(6));
+    }
+
+    #[test]
+    fn string_continuations_count_lines() {
+        let l = lex("let s = \"first \\\n    second\";\nlet after = 1;");
+        let after = l.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3, "backslash-newline must advance the line");
     }
 
     #[test]

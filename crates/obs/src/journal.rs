@@ -107,6 +107,7 @@ mod ring {
         }
 
         fn from_env() -> Self {
+            // tmprof-lint: allow(knob-flow) — obs stays dependency-free of core; the journal capacity is read once here and the name is pinned by the knob-registry sync test
             let cap = std::env::var(CAP_ENV)
                 .ok()
                 .and_then(|v| v.trim().parse::<usize>().ok())
@@ -114,6 +115,7 @@ mod ring {
             Self::with_capacity(cap)
         }
 
+        // tmprof-lint: allow(panic-reachability) — ring invariant: next < cap, re-established by the wrap below
         pub(super) fn record(&mut self, ev: Event) {
             if self.cap == 0 {
                 return;

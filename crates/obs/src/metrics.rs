@@ -113,6 +113,7 @@ thread_local! {
 
 /// Add `n` to a counter on the calling thread.
 #[inline]
+// tmprof-lint: allow(panic-reachability) — Metric discriminants are < Metric::COUNT, the length of the cells array
 pub fn add(metric: Metric, n: u64) {
     #[cfg(not(feature = "obs-off"))]
     CELLS.with(|cells| {
@@ -131,6 +132,7 @@ pub fn inc(metric: Metric) {
 
 /// Set a gauge to `value` (overwrites, does not accumulate).
 #[inline]
+// tmprof-lint: allow(panic-reachability) — Metric discriminants are < Metric::COUNT, the length of the cells array
 pub fn set(metric: Metric, value: u64) {
     #[cfg(not(feature = "obs-off"))]
     CELLS.with(|cells| cells[metric as usize].set(value));
@@ -185,6 +187,7 @@ impl Snapshot {
     }
 
     /// Value of one metric in this snapshot.
+    // tmprof-lint: allow(panic-reachability) — Metric discriminants are < Metric::COUNT, the length of the cells array
     pub fn get(&self, metric: Metric) -> u64 {
         self.values[metric as usize]
     }
@@ -215,6 +218,7 @@ impl Snapshot {
     }
 
     /// `(metric, value)` pairs in registry order.
+    // tmprof-lint: allow(panic-reachability) — Metric discriminants are < Metric::COUNT, the length of the cells array
     pub fn iter(&self) -> impl Iterator<Item = (Metric, u64)> + '_ {
         Metric::ALL.iter().map(|&m| (m, self.values[m as usize]))
     }

@@ -126,6 +126,7 @@ impl PageMover {
                     Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
                         report.unmapped += 1;
                     }
+                    // tmprof-lint: allow(panic-reachability) — migrate errors other than NotMapped/HugePage are simulator invariant breaches; crash loudly
                     Err(e) => panic!("demotion failed: {e}"),
                 }
             }

@@ -149,6 +149,7 @@ impl ABitScanner {
     pub fn new(cfg: ABitConfig) -> Self {
         Self {
             cfg,
+            // tmprof-lint: allow(knob-flow) — profilers reads the hier-scan toggle directly to avoid a dependency cycle with core; the name is pinned by the knob-registry sync test
             hier: std::env::var(HIER_ENV).is_ok_and(|v| v == "1"),
             cursors: KeyMap::default(),
             epoch_pages: Vec::new(),

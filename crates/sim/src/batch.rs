@@ -82,6 +82,7 @@ impl TranslateMemo {
 
     /// L1 slot hint for (`pid`, `vpn`), if one was recorded this generation.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — Self::index masks the slot with MEMO_SLOTS - 1
     pub(crate) fn probe(&self, pid: Pid, vpn: Vpn) -> Option<usize> {
         let s = &self.slots[Self::index(pid, vpn)];
         (s.gen == self.gen && s.pid == pid && s.vpn == vpn).then_some(s.l1_slot as usize)
@@ -89,6 +90,7 @@ impl TranslateMemo {
 
     /// Record that (`pid`, `vpn`) now lives in L1 slot `l1_slot`.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — Self::index masks the slot with MEMO_SLOTS - 1
     pub(crate) fn remember(&mut self, pid: Pid, vpn: Vpn, l1_slot: usize) {
         self.slots[Self::index(pid, vpn)] = MemoSlot {
             pid,
@@ -112,6 +114,7 @@ impl Machine {
     /// in every observable (counters, ground truth, trace samples, TLB and
     /// cache state, page tables), but with per-op invariants hoisted and a
     /// translation-memo fast path for repeat touches. See the module docs.
+    // tmprof-lint: allow(panic-reachability) — core ids and proc_idx come from the scheduler contract: core < cores.len(), proc_idx from the pid_index map
     pub fn exec_batch(&mut self, core: usize, pid: Pid, ops: &[WorkOp]) {
         let lat = self.config().latency;
         let proc_idx = self.proc_idx(pid);

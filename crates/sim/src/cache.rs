@@ -110,6 +110,7 @@ impl Cache {
     }
 
     /// Probe for `line`; on a hit, refresh LRU and (for stores) mark dirty.
+    // tmprof-lint: allow(panic-reachability) — set_range masks the set index to sets - 1 and slices exactly `ways` lines
     pub fn probe(&mut self, line: u64, is_store: bool) -> bool {
         self.clock += 1;
         let clock = self.clock;
@@ -129,6 +130,7 @@ impl Cache {
     }
 
     /// Install `line` after a miss, evicting the LRU way.
+    // tmprof-lint: allow(panic-reachability) — set_range masks the set index to sets - 1 and slices exactly `ways` lines
     pub fn fill(&mut self, line: u64, is_store: bool) -> FillOutcome {
         self.clock += 1;
         let clock = self.clock;
@@ -137,6 +139,7 @@ impl Cache {
         let slot = if let Some(free) = set.iter_mut().find(|l| !l.valid) {
             free
         } else {
+            // tmprof-lint: allow(panic-reachability) — ways >= 1 is validated at construction, so a set always has an LRU victim
             set.iter_mut().min_by_key(|l| l.stamp).expect("ways > 0")
         };
         let writeback = (slot.valid && slot.dirty).then_some(slot.tag);
@@ -153,6 +156,7 @@ impl Cache {
     /// mark it dirty (no demand-stat or LRU update — writebacks are not
     /// demand traffic). Returns false when the line is absent and the
     /// writeback must continue outward.
+    // tmprof-lint: allow(panic-reachability) — set_range masks the set index to sets - 1 and slices exactly `ways` lines
     pub fn writeback_touch(&mut self, line: u64) -> bool {
         let range = self.set_range(line);
         for slot in &mut self.lines[range] {
@@ -166,6 +170,7 @@ impl Cache {
 
     /// Drop `line` if cached (migration scrub / coherence). Returns whether
     /// it was present and dirty.
+    // tmprof-lint: allow(panic-reachability) — set_range masks the set index to sets - 1 and slices exactly `ways` lines
     pub fn invalidate(&mut self, line: u64) -> Option<bool> {
         let range = self.set_range(line);
         for slot in &mut self.lines[range] {

@@ -46,6 +46,7 @@ impl TierFree {
 
     /// Element `i` of the equivalent dense free list (front = highest
     /// fresh frame, then the recycled tail in push order).
+    // tmprof-lint: allow(panic-reachability) — the recycled index is taken only on the i >= fresh_len branch, so i - fresh_len < recycled.len()
     fn virtual_entry(&self, i: u64) -> Pfn {
         if i < self.fresh_len() {
             Pfn(self.fresh_hi - 1 - i)

@@ -116,6 +116,7 @@ impl PageSet {
 
     /// Merge a batch of keys into the set (sorts the batch, then does a
     /// linear merge — the batch is typically much smaller than the set).
+    // tmprof-lint: allow(panic-reachability) — batch[0] follows the is_empty early return; i and j are while-bounded by the slice lengths
     pub fn merge_unsorted(&mut self, mut batch: Vec<u64>) {
         if batch.is_empty() {
             return;

@@ -416,7 +416,7 @@ impl Machine {
     /// Position of `pid` in the dense process table.
     #[inline]
     pub(crate) fn proc_idx(&self, pid: Pid) -> usize {
-        // tmprof-lint: allow(panic-hot-path) — callers pass PIDs they registered via add_process; an unknown PID is a harness bug, not a runtime condition
+        // tmprof-lint: allow(panic-reachability) — callers pass PIDs they registered via add_process; an unknown PID is a harness bug, not a runtime condition
         *self.pid_index.get(&pid).expect("unknown pid")
     }
 
@@ -457,16 +457,19 @@ impl Machine {
     }
 
     /// The per-core trace engine (driver MSR access).
+    // tmprof-lint: allow(panic-reachability) — core is a valid core id by caller contract (bounded by cores.len())
     pub fn trace_engine_mut(&mut self, core: usize) -> &mut TraceEngine {
         &mut self.cores[core].trace
     }
 
     /// The per-core PML engine.
+    // tmprof-lint: allow(panic-reachability) — core is a valid core id by caller contract (bounded by cores.len())
     pub fn pml_engine_mut(&mut self, core: usize) -> &mut PmlEngine {
         &mut self.cores[core].pml
     }
 
     /// Per-core PMU counters.
+    // tmprof-lint: allow(panic-reachability) — core is a valid core id by caller contract (bounded by cores.len())
     pub fn counts(&self, core: usize) -> &EventCounts {
         &self.cores[core].counts
     }
@@ -530,6 +533,7 @@ impl Machine {
     }
 
     /// Charge profiling work to a core's clock (scan costs, drain interrupts).
+    // tmprof-lint: allow(panic-reachability) — core is a valid core id by caller contract (bounded by cores.len())
     pub fn charge_profiling(&mut self, core: usize, cycles: u64) {
         let c = &mut self.cores[core];
         c.counts.cycles += cycles;
@@ -675,6 +679,7 @@ impl Machine {
     /// Reference memory-op execution with the process index pre-resolved
     /// (the batched path hoists the lookup out of its loop).
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — core and proc_idx are validated by exec_batch before dispatch
     pub(crate) fn exec_mem_at(
         &mut self,
         core_idx: usize,
@@ -731,6 +736,7 @@ impl Machine {
     /// was served from memory (the caller records ground truth, since the
     /// batched path batches those updates).
     #[inline(always)]
+    // tmprof-lint: allow(panic-reachability) — core and proc_idx are validated by exec_batch before dispatch
     pub(crate) fn finish_mem(&mut self, acc: &MemAccess, pfn: Pfn, out: &mut ExecOutcome) -> bool {
         let lat = self.cfg.latency;
         let &MemAccess {
@@ -754,7 +760,7 @@ impl Machine {
                     core.counts.l1d_misses += 1;
                     lat.l2_hit
                 }
-                // tmprof-lint: allow(panic-hot-path) — CacheHierarchy::probe only reports L1/L2 hits by construction; LLC and memory are probed on the shared path below
+                // tmprof-lint: allow(panic-reachability) — CacheHierarchy::probe only reports L1/L2 hits by construction; LLC and memory are probed on the shared path below
                 _ => unreachable!("private probe beyond L2"),
             };
         } else {
@@ -831,6 +837,7 @@ impl Machine {
 
     /// Translate (`pid`, `vpn`), performing TLB lookups, hardware walks,
     /// fault handling and A/D-bit maintenance.
+    // tmprof-lint: allow(panic-reachability) — core and proc_idx flow from exec_batch's scheduler contract; pid_index lookups yield in-range process indices
     fn translate(
         &mut self,
         core_idx: usize,
@@ -984,7 +991,7 @@ impl Machine {
                     let pfn = self
                         .frames
                         .alloc_first_touch()
-                        // tmprof-lint: allow(panic-hot-path) — physical exhaustion means the experiment's footprint exceeds the configured machine; no policy can make progress, so dying loudly beats silently dropping accesses
+                        // tmprof-lint: allow(panic-reachability) — physical exhaustion means the experiment's footprint exceeds the configured machine; no policy can make progress, so dying loudly beats silently dropping accesses
                         .expect("physical memory exhausted");
                     proc.page_table.map(vpn, Pte::new(pfn, true));
                     self.descs.set_owner(pfn, PageKey { pid, vpn });
@@ -1010,7 +1017,7 @@ impl Machine {
                     .fault_policy
                     .as_mut()
                     .unwrap_or_else(|| {
-                        // tmprof-lint: allow(panic-hot-path) — a poisoned/PROT_NONE PTE can only exist because a profiler installed it, and profilers install their fault handler first; faulting with no handler means the instrumentation protocol was violated
+                        // tmprof-lint: allow(panic-reachability) — a poisoned/PROT_NONE PTE can only exist because a profiler installed it, and profilers install their fault handler first; faulting with no handler means the instrumentation protocol was violated
                         panic!("protection fault on {vpn:?} with no fault policy installed")
                     })
                     .handle(&fault);
@@ -1024,7 +1031,7 @@ impl Machine {
                 let pte = proc
                     .page_table
                     .entry_mut(vpn)
-                    // tmprof-lint: allow(panic-hot-path) — this arm is only reached after the walk found a present (poisoned) PTE this iteration, and nothing unmaps between; absence would mean the walk lied
+                    // tmprof-lint: allow(panic-reachability) — this arm is only reached after the walk found a present (poisoned) PTE this iteration, and nothing unmaps between; absence would mean the walk lied
                     .expect("present entry");
                 if action.unpoison {
                     pte.clear(bits::POISON);
@@ -1034,13 +1041,13 @@ impl Machine {
                 }
                 repoison_after_fill = action.repoison;
                 if pte.poisoned() || pte.prot_none() {
-                    // tmprof-lint: allow(panic-hot-path) — a handler that neither unpoisons nor unprotects would spin this loop forever; failing fast surfaces the broken FaultPolicy implementation
+                    // tmprof-lint: allow(panic-reachability) — a handler that neither unpoisons nor unprotects would spin this loop forever; failing fast surfaces the broken FaultPolicy implementation
                     panic!("fault policy did not resolve fault on {vpn:?}");
                 }
                 continue;
             }
         }
-        // tmprof-lint: allow(panic-hot-path) — each loop iteration either returns, maps the page, or clears the faulting bits; the iteration bound only trips if one of those steps stops making progress, which is a simulator bug
+        // tmprof-lint: allow(panic-reachability) — each loop iteration either returns, maps the page, or clears the faulting bits; the iteration bound only trips if one of those steps stops making progress, which is a simulator bug
         panic!("translation for {vpn:?} did not converge");
     }
 

@@ -128,6 +128,7 @@ pub const DEFAULT_CHUNK: usize = 4096;
 pub const CHUNK_ENV: &str = "TMPROF_DESC_CHUNK";
 
 fn chunk_frames_from_env() -> usize {
+    // tmprof-lint: allow(knob-flow) — sim reads the chunk-size knob directly to avoid depending on core; the name is pinned by the knob-registry sync test
     std::env::var(CHUNK_ENV)
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -205,6 +206,7 @@ impl PageDescTable {
         match &mut self.chunks[ci] {
             Some(chunk) => &mut chunk[pfn.0 as usize & (self.chunk_frames - 1)],
             // The chunk was materialized just above.
+            // tmprof-lint: allow(panic-reachability) — the chunk was materialized by the branch just above; get_mut cannot miss
             None => unreachable!(),
         }
     }

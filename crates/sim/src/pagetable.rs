@@ -76,6 +76,7 @@ impl LeafTable {
 
     /// Resynchronize slot `pi`'s bitmap bits exactly from its PTE.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — pi < FANOUT: callers derive it from radix_index(0) or word/bit decomposition
     fn sync_slot(&mut self, pi: usize) {
         let w = pi >> 6;
         let bit = 1u64 << (pi & 63);
@@ -98,6 +99,7 @@ impl LeafTable {
 
     /// Candidate word `w` for the requested bit kind.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — w < SCAN_WORDS by the scan-word loop contract of every caller
     fn a_or_d_word(&self, which: ScanBit, w: usize) -> u64 {
         match which {
             ScanBit::Accessed => self.a_words[w],
@@ -246,6 +248,7 @@ fn resync_summary(
 /// Whether `child`'s subtree may hold a present PTE with the A/D bit set,
 /// judged from the child's own summary/bitmap state (not a full descent).
 #[inline]
+// tmprof-lint: allow(panic-reachability) — w ranges over 0..SCAN_WORDS, the fixed length of both word arrays
 fn child_summary_flags(child: &Node) -> (bool, bool) {
     match child {
         Node::Interior(n) => (
@@ -354,6 +357,7 @@ impl PageTable {
         res
     }
 
+    // tmprof-lint: allow(panic-reachability) — idx = radix_index(level) masks to FANOUT - 1
     fn map_huge_rec(
         node: &mut Interior,
         level: usize,
@@ -370,7 +374,7 @@ impl PageTable {
             }
             let next = match node.children[idx].as_mut() {
                 Some(Node::Interior(next)) => next,
-                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
+                // tmprof-lint: allow(panic-reachability) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
                 _ => unreachable!("leaf at interior level"),
             };
             let (child_delta, res) = Self::map_huge_rec(next, level - 1, base, pte);
@@ -437,6 +441,7 @@ impl PageTable {
         self.mapped_pages += delta.ptes;
     }
 
+    // tmprof-lint: allow(panic-reachability) — idx = radix_index(level) masks to FANOUT - 1
     fn map_rec(node: &mut Interior, level: usize, vpn: Vpn, pte: Pte) -> MapDelta {
         let idx = vpn.radix_index(level);
         let mut delta = MapDelta::default();
@@ -448,7 +453,7 @@ impl PageTable {
             }
             let next = match node.children[idx].as_mut() {
                 Some(Node::Interior(next)) => next,
-                // tmprof-lint: allow(panic-hot-path) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
+                // tmprof-lint: allow(panic-reachability) — the slot was filled with an Interior just above; a Leaf/Huge at interior depth would mean the radix tree itself is corrupt
                 _ => unreachable!("leaf at interior level"),
             };
             delta.absorb(Self::map_rec(next, level - 1, vpn, pte));
@@ -468,9 +473,9 @@ impl PageTable {
                     leaf.ptes[pi] = pte;
                     leaf.sync_slot(pi);
                 }
-                // tmprof-lint: allow(panic-hot-path) — mapping a 4 KiB page under a live huge mapping is a machine-level invariant breach: the walker would have hit the huge PTE instead of faulting, so no caller can reach this with a huge entry installed
+                // tmprof-lint: allow(panic-reachability) — mapping a 4 KiB page under a live huge mapping is a machine-level invariant breach: the walker would have hit the huge PTE instead of faulting, so no caller can reach this with a huge entry installed
                 Some(Node::Huge(_)) => panic!("range already covered by a huge mapping"),
-                // tmprof-lint: allow(panic-hot-path) — level-1 slots only ever hold Leaf or Huge nodes; an Interior here would mean the radix tree itself is corrupt
+                // tmprof-lint: allow(panic-reachability) — level-1 slots only ever hold Leaf or Huge nodes; an Interior here would mean the radix tree itself is corrupt
                 _ => unreachable!("interior at leaf level"),
             }
         }
@@ -519,6 +524,7 @@ impl PageTable {
     /// mapping this returns the covering level-1 PTE (check [`Pte::huge`];
     /// its `pfn` is the run base — use [`PageTable::resolve`] for the
     /// per-page frame).
+    // tmprof-lint: allow(panic-reachability) — radix_index masks each level's index to FANOUT - 1
     pub fn get(&self, vpn: Vpn) -> Pte {
         let mut node = &self.root;
         for level in (1..RADIX_LEVELS).rev() {
@@ -551,6 +557,7 @@ impl PageTable {
     ///
     /// This is the primitive the hardware walker uses to set A/D bits and
     /// the software drivers use to poison/clear entries.
+    // tmprof-lint: allow(panic-reachability) — radix_index masks each level's index to FANOUT - 1
     pub fn entry_mut(&mut self, vpn: Vpn) -> Option<&mut Pte> {
         let mut node = &mut self.root;
         for level in (2..RADIX_LEVELS).rev() {
@@ -673,6 +680,7 @@ impl PageTable {
     /// Recursive helper for the bounded walk. Returns true when the budget
     /// is exhausted (`resume` then holds the next VPN to visit).
     #[allow(clippy::too_many_arguments)]
+    // tmprof-lint: allow(panic-reachability) — pi ranges over 0..FANOUT; child slots come from enumerate over the fixed arrays
     fn walk_node_bounded(
         node: &mut Interior,
         level: usize,
@@ -900,6 +908,7 @@ impl PageTable {
     /// and hierarchical modes. Returns true when the budget ran out inside
     /// this leaf (`resume` then holds the cursor).
     #[allow(clippy::too_many_arguments)]
+    // tmprof-lint: allow(panic-reachability) — w < SCAN_WORDS and pi = (w << 6) | bit < FANOUT by construction
     fn scan_leaf_words(
         leaf: &mut LeafTable,
         child_prefix: u64,
@@ -1066,6 +1075,7 @@ impl PageTable {
     /// the same leaf/huge arms as the flat scan, then re-tightens the
     /// summary bit on the way out.
     #[allow(clippy::too_many_arguments)]
+    // tmprof-lint: allow(panic-reachability) — lw < SCAN_WORDS and idx = (lw << 6) | trailing_zeros(occ) < FANOUT
     fn hier_scan_node(
         node: &mut Interior,
         level: usize,

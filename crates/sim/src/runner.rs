@@ -47,6 +47,7 @@ pub const BATCH_ENV: &str = "TMPROF_SIM_BATCH";
 
 /// Quantum from [`BATCH_ENV`], validated, defaulting to [`DEFAULT_BATCH`].
 fn resolve_batch() -> u64 {
+    // tmprof-lint: allow(knob-flow) — sim reads its batch toggle directly to avoid depending on core; the name is pinned by the knob-registry sync test
     parse_batch(std::env::var(BATCH_ENV).ok())
 }
 

@@ -88,6 +88,7 @@ impl TieredMemory {
     }
 
     /// Total frames across both tiers.
+    // tmprof-lint: allow(panic-reachability) — specs is a fixed [TierSpec; 2]; indices 0 and 1 are always in bounds
     pub fn total_frames(&self) -> u64 {
         self.specs[0].frames + self.specs[1].frames
     }
@@ -110,6 +111,7 @@ impl TieredMemory {
     /// # Panics
     /// If the frame is outside physical memory.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — specs is a fixed [TierSpec; 2]; indices 0 and 1 are always in bounds
     pub fn tier_of(&self, pfn: Pfn) -> Tier {
         if pfn.0 < self.specs[0].frames {
             Tier::Tier1

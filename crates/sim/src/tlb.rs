@@ -125,6 +125,7 @@ impl TlbLevel {
 
     /// [`TlbLevel::lookup`], additionally reporting the index of the slot
     /// that hit (fuel for the batched-execution translation memo).
+    // tmprof-lint: allow(panic-reachability) — set_range slices a full set of `ways` slots within the slots array
     pub fn lookup_slot(&mut self, pid: Pid, vpn: Vpn) -> Option<(usize, &mut TlbEntry)> {
         self.clock += 1;
         let clock = self.clock;
@@ -146,6 +147,7 @@ impl TlbLevel {
     /// `None` without touching the clock, so a subsequent full lookup sees
     /// the same LRU state the reference path would have.
     #[inline]
+    // tmprof-lint: allow(panic-reachability) — idx was returned by a prior lookup_slot hit and is a valid slot index
     pub fn rehit(&mut self, idx: usize, pid: Pid, vpn: Vpn, is_store: bool) -> Option<TlbEntry> {
         let slot = &mut self.slots[idx];
         let e = &slot.entry;
@@ -171,6 +173,7 @@ impl TlbLevel {
     /// A single pass over the set finds (in priority order) an existing
     /// mapping for the same page, the first invalid slot, and the LRU
     /// victim — the same selection the original three-scan version made.
+    // tmprof-lint: allow(panic-reachability) — set_range slices a full set of `ways` slots; in-set offsets come from enumerate
     pub fn insert_slot(&mut self, entry: TlbEntry) -> (usize, Option<TlbEntry>) {
         self.clock += 1;
         let clock = self.clock;
@@ -228,6 +231,7 @@ impl TlbLevel {
 
     /// Drop the translation for (`pid`, `vpn`) if cached. Returns whether an
     /// entry was present (shootdown accounting).
+    // tmprof-lint: allow(panic-reachability) — set_range slices a full set of `ways` slots within the slots array
     pub fn invalidate_page(&mut self, pid: Pid, vpn: Vpn) -> bool {
         let range = self.set_range(pid, vpn);
         for slot in &mut self.slots[range] {
