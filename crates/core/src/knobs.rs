@@ -133,6 +133,29 @@ pub const DESC_CHUNK: Knob = Knob {
            touched frames rather than tier capacity.",
 };
 
+/// Physical memory layout: ordered comma-separated tier names.
+pub const TOPOLOGY: Knob = Knob {
+    name: "TMPROF_TOPOLOGY",
+    default: "dram,nvm",
+    accepts: "comma-separated tier names from {dram, cxl, nvm}, fastest \
+              first, 1..=4 tiers",
+    help: "Memory-tier layout for the bench binaries and topology-aware \
+           tests. Each name picks that technology's latency preset; frame \
+           capacities come from the experiment scale. The default is the \
+           paper's two-tier DRAM+NVM machine.",
+};
+
+/// Candidate-table size of the device-side hot-page sketch.
+pub const DEVSKETCH_K: Knob = Knob {
+    name: "TMPROF_DEVSKETCH_K",
+    default: "64",
+    accepts: "positive integer (hot frames reported per epoch)",
+    help: "Top-K capacity of the device-side count-min hot-page tracker \
+           (read in tmprof_profilers::devsketch; see the layering note \
+           above). Larger K reports more of the slow-tier tail at the \
+           cost of modeled device SRAM.",
+};
+
 /// Output directory for per-cell sweep metrics sidecars.
 pub const OBS_DIR: Knob = Knob {
     name: "TMPROF_OBS_DIR",
@@ -151,6 +174,8 @@ pub const ALL: &[Knob] = &[
     GATE_DECAY,
     PIPELINE,
     HIER_SCAN,
+    TOPOLOGY,
+    DEVSKETCH_K,
     DESC_CHUNK,
     OBS_JOURNAL,
     OBS_DIR,
@@ -201,6 +226,14 @@ mod tests {
         // The hierarchical-scan switch is read by the profilers crate and
         // the descriptor chunk size by sim; pin both names and defaults.
         assert_eq!(HIER_SCAN.name, tmprof_profilers::abit::HIER_ENV);
+        // The topology layout is read by sim's scaled constructors.
+        assert_eq!(TOPOLOGY.name, tmprof_sim::tier::TOPOLOGY_ENV);
+        // The device-sketch size is read by the profilers crate.
+        assert_eq!(DEVSKETCH_K.name, tmprof_profilers::devsketch::K_ENV);
+        assert_eq!(
+            DEVSKETCH_K.default,
+            tmprof_profilers::devsketch::DEFAULT_K.to_string()
+        );
         assert_eq!(DESC_CHUNK.name, tmprof_sim::pagedesc::CHUNK_ENV);
         assert_eq!(
             DESC_CHUNK.default,

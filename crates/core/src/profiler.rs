@@ -11,8 +11,9 @@
 use std::sync::{Arc, Mutex};
 
 use tmprof_profilers::abit::{ABitConfig, ABitScanner, ABitStats};
+use tmprof_profilers::devsketch::{DevSketch, DevSketchConfig};
 use tmprof_profilers::trace::{TraceConfig, TraceProfiler, TraceStats};
-use tmprof_sim::keymap::PageSet;
+use tmprof_sim::keymap::{KeyMap, PageSet};
 use tmprof_sim::machine::Machine;
 use tmprof_sim::stats::EpochTruth;
 
@@ -29,6 +30,11 @@ pub struct TmpConfig {
     pub gating: GatingConfig,
     /// Keep every epoch's [`EpochProfile`] for offline replay (Fig. 6).
     pub record_profiles: bool,
+    /// Device-side hot-page sketch over the slow-tier access stream
+    /// (`RankSource::DevSketch`). `None` — the paper's baseline — leaves
+    /// the machine's device stream off, so the default pipeline is
+    /// bit-identical to a build without the sketch.
+    pub devsketch: Option<DevSketchConfig>,
 }
 
 impl TmpConfig {
@@ -42,12 +48,19 @@ impl TmpConfig {
             filter: FilterConfig::default(),
             gating: GatingConfig::from_env(),
             record_profiles: false,
+            devsketch: None,
         }
     }
 
     /// Record per-epoch profiles for replay.
     pub fn recording_profiles(mut self) -> Self {
         self.record_profiles = true;
+        self
+    }
+
+    /// Enable the device-side hot-page sketch.
+    pub fn with_devsketch(mut self, cfg: DevSketchConfig) -> Self {
+        self.devsketch = Some(cfg);
         self
     }
 }
@@ -85,6 +98,9 @@ pub struct Tmp {
     /// so readers must flush the pipeline first; the serial
     /// [`Tmp::end_epoch`] locks inline (uncontended).
     both_seen: Arc<Mutex<PageSet>>,
+    /// Device-side hot-page tracker; present iff `cfg.devsketch` is set,
+    /// in which case the machine's device stream is armed.
+    sketch: Option<DevSketch>,
     profiles: Vec<EpochProfile>,
     epochs_closed: u32,
 }
@@ -112,6 +128,8 @@ impl Tmp {
         let trace = TraceProfiler::new(cfg.trace, machine);
         let abit = ABitScanner::new(cfg.abit);
         let gating = Gating::new(cfg.gating, machine);
+        let sketch = cfg.devsketch.map(DevSketch::new);
+        machine.set_device_stream(sketch.is_some());
         Self {
             cfg,
             trace,
@@ -119,9 +137,43 @@ impl Tmp {
             filter: ProcessFilter::new(cfg.filter),
             gating,
             both_seen: Arc::new(Mutex::new(PageSet::new())),
+            sketch,
             profiles: Vec::new(),
             epochs_closed: 0,
         }
+    }
+
+    /// Drain the slow-tier access stream into the device sketch and return
+    /// the epoch's Top-K as a `packed page key -> estimate` map (empty when
+    /// the sketch is disabled). Runs before the descriptor epoch reset so
+    /// the frame -> owner reverse mapping is still the one the accesses
+    /// hit; the sketch's own per-epoch reset happens here too, mirroring
+    /// the device clearing its counters at the horizon.
+    fn drain_device_sketch(&mut self, machine: &mut Machine) -> KeyMap<u64, u64> {
+        let mut out = KeyMap::default();
+        let Some(sketch) = self.sketch.as_mut() else {
+            return out;
+        };
+        let stream = machine.take_device_accesses();
+        tmprof_obs::metrics::add(
+            tmprof_obs::metrics::Metric::DevsketchAccesses,
+            stream.len() as u64,
+        );
+        sketch.feed_stream(&stream);
+        for (pfn, estimate) in sketch.top_k() {
+            // A frame can lose its owner between the access and the
+            // horizon (unmap/migration); the device only knows frames, so
+            // such entries are dropped at translation time.
+            if let Some(owner) = machine.descs().get(pfn).owner {
+                out.insert(owner.pack(), estimate);
+            }
+        }
+        tmprof_obs::metrics::add(
+            tmprof_obs::metrics::Metric::DevsketchTopkPages,
+            out.len() as u64,
+        );
+        sketch.reset_epoch();
+        out
     }
 
     /// Close the current epoch: poll hardware, scan PTEs, snapshot the
@@ -138,8 +190,10 @@ impl Tmp {
         let pids = self.filter.tracked_pids(machine);
         self.abit.scan(machine, &pids);
 
-        // 3. Snapshot per-page observations before the counters reset.
-        let profile = EpochProfile::capture(machine.descs());
+        // 3. Snapshot per-page observations before the counters reset,
+        //    folding in the device sketch's Top-K (empty when disabled).
+        let mut profile = EpochProfile::capture(machine.descs());
+        profile.devsketch = self.drain_device_sketch(machine);
         if self.cfg.record_profiles {
             self.profiles.push(profile.clone());
         }
@@ -149,11 +203,15 @@ impl Tmp {
         let trace_set = self.trace.take_epoch_pages();
         let both: Vec<u64> = abit_set.intersection(&trace_set).collect();
         let both_pages = both.len();
-        self.both_seen
-            .lock()
-            // tmprof-lint: allow(panic-reachability) — a poisoned lock means a scan thread already panicked; propagating is the only sane response
-            .expect("both_seen poisoned")
-            .merge_unsorted(both);
+        {
+            // Scoped so the guard drops before the machine-touching epoch
+            // advance below; nothing else contends during the merge.
+            self.both_seen
+                .lock()
+                // tmprof-lint: allow(panic-reachability) — a poisoned lock means a scan thread already panicked; propagating is the only sane response
+                .expect("both_seen poisoned")
+                .merge_unsorted(both);
+        }
 
         // 5. Gate the expensive mechanisms for the next epoch.
         let gate = self.gating.evaluate(machine);
@@ -203,7 +261,11 @@ impl Tmp {
         self.trace.poll(machine);
         let pids = self.filter.tracked_pids(machine);
         self.abit.scan(machine, &pids);
-        let profile = Arc::new(EpochProfile::capture(machine.descs()));
+        let profile = {
+            let mut p = EpochProfile::capture(machine.descs());
+            p.devsketch = self.drain_device_sketch(machine);
+            Arc::new(p)
+        };
         if self.cfg.record_profiles {
             self.profiles.push((*profile).clone());
         }
@@ -294,6 +356,11 @@ impl Tmp {
     /// Access the underlying A-bit scanner (heatmap extraction).
     pub fn abit_scanner(&self) -> &ABitScanner {
         &self.abit
+    }
+
+    /// Device-sketch lifetime totals (`None` when disabled).
+    pub fn devsketch_stats(&self) -> Option<tmprof_profilers::devsketch::DevSketchStats> {
+        self.sketch.as_ref().map(|s| s.stats())
     }
 }
 
@@ -405,8 +472,12 @@ mod tests {
         for threaded in [false, true] {
             let mut m_ser = machine();
             let mut m_ovl = machine();
-            let mut tmp_ser = Tmp::new(TmpConfig::paper_defaults(64), &mut m_ser);
-            let mut tmp_ovl = Tmp::new(TmpConfig::paper_defaults(64), &mut m_ovl);
+            // Devsketch on, so the overlapped close must also drain the
+            // device stream at the same point as the serial close.
+            let cfg = TmpConfig::paper_defaults(64)
+                .with_devsketch(tmprof_profilers::devsketch::DevSketchConfig::default());
+            let mut tmp_ser = Tmp::new(cfg, &mut m_ser);
+            let mut tmp_ovl = Tmp::new(cfg, &mut m_ovl);
             let mut pipeline = crate::daemon::EpochPipeline::new(threaded);
             for round in 0..4u64 {
                 strided(&mut m_ser, 64 + round * 32, 15_000);
@@ -419,6 +490,7 @@ mod tests {
                     "threaded={threaded}"
                 );
                 assert_eq!(report.profile.trace, handle.profile.trace);
+                assert_eq!(report.profile.devsketch, handle.profile.devsketch);
                 assert_eq!(report.truth.mem_accesses, handle.truth.mem_accesses);
                 assert_eq!(report.gate.trace_active, handle.gate.trace_active);
                 assert_eq!(report.gate.abit_active, handle.gate.abit_active);
@@ -437,6 +509,42 @@ mod tests {
             );
             assert_eq!(tmp_ser.epochs_closed(), tmp_ovl.epochs_closed());
         }
+    }
+
+    #[test]
+    fn devsketch_is_off_by_default() {
+        let mut m = machine();
+        let mut tmp = Tmp::new(TmpConfig::paper_defaults(64), &mut m);
+        // Footprint past the 512-frame fast tier, so slow-tier accesses
+        // exist — but with no sketch configured the stream stays off.
+        strided(&mut m, 600, 30_000);
+        let report = tmp.end_epoch(&mut m);
+        assert!(report.profile.devsketch.is_empty());
+        assert!(report.profile.ranked(RankSource::DevSketch).is_empty());
+        assert!(tmp.devsketch_stats().is_none());
+    }
+
+    #[test]
+    fn devsketch_reports_slow_tier_pages() {
+        let mut m = machine();
+        let cfg = TmpConfig::paper_defaults(64)
+            .with_devsketch(tmprof_profilers::devsketch::DevSketchConfig { k: 16 });
+        let mut tmp = Tmp::new(cfg, &mut m);
+        strided(&mut m, 600, 30_000);
+        let report = tmp.end_epoch(&mut m);
+        let ranked = report.profile.ranked(RankSource::DevSketch);
+        assert!(!ranked.is_empty(), "device saw the slow-tier overflow");
+        assert!(ranked.len() <= 16, "Top-K bounds the report");
+        let stats = tmp.devsketch_stats().expect("sketch enabled");
+        assert!(stats.fed > 0);
+        assert_eq!(stats.epochs, 1);
+        // Next epoch with a fast-tier-resident working set: nothing
+        // reaches the device, the sketch reports nothing.
+        for _ in 0..5_000 {
+            m.touch(0, 1, VirtAddr(0x1000));
+        }
+        let r2 = tmp.end_epoch(&mut m);
+        assert!(r2.profile.devsketch.is_empty());
     }
 
     #[test]

@@ -19,13 +19,28 @@ pub enum RankSource {
     ABit,
     /// Trace (IBS/PEBS) samples only.
     Trace,
-    /// TMP: sum of both (the paper's rule).
+    /// TMP: sum of A-bit and trace (the paper's rule — the device sketch
+    /// is deliberately not folded in, so `Combined` keeps meaning what
+    /// Fig. 6 measured).
     Combined,
+    /// Device-side hot-page sketch (NeoMem-style Top-K over the slow-tier
+    /// access stream a CXL controller observes).
+    DevSketch,
 }
 
 impl RankSource {
-    /// All sources, in Fig. 6's order.
+    /// The paper's three sources, in Fig. 6's order. This drives the
+    /// default grid schedule and must not grow — the committed CSVs'
+    /// 7-cells-per-ratio layout depends on it.
     pub const ALL: [RankSource; 3] = [RankSource::ABit, RankSource::Trace, RankSource::Combined];
+
+    /// Fig. 6's sources plus the device-side sketch, for topology sweeps.
+    pub const ALL_WITH_DEVSKETCH: [RankSource; 4] = [
+        RankSource::ABit,
+        RankSource::Trace,
+        RankSource::Combined,
+        RankSource::DevSketch,
+    ];
 
     /// Display label.
     pub fn label(self) -> &'static str {
@@ -33,6 +48,7 @@ impl RankSource {
             RankSource::ABit => "A-bit",
             RankSource::Trace => "IBS",
             RankSource::Combined => "TMP",
+            RankSource::DevSketch => "DevSketch",
         }
     }
 }
@@ -52,6 +68,11 @@ pub struct EpochProfile {
     pub abit: KeyMap<u64, u64>,
     /// Trace samples per page.
     pub trace: KeyMap<u64, u64>,
+    /// Device-sketch estimated accesses per page (the per-epoch Top-K of
+    /// the slow-tier stream). Empty unless the devsketch profiler is
+    /// enabled; [`Self::capture`] never fills it — the sketch lives in the
+    /// device, not the page descriptors.
+    pub devsketch: KeyMap<u64, u64>,
 }
 
 impl EpochProfile {
@@ -97,12 +118,14 @@ impl EpochProfile {
 
     /// Rank value of a page under `source`.
     pub fn rank_of(&self, key: u64, source: RankSource) -> u64 {
-        let a = self.abit.get(&key).copied().unwrap_or(0);
-        let t = self.trace.get(&key).copied().unwrap_or(0);
         match source {
-            RankSource::ABit => a,
-            RankSource::Trace => t,
-            RankSource::Combined => a + t,
+            RankSource::ABit => self.abit.get(&key).copied().unwrap_or(0),
+            RankSource::Trace => self.trace.get(&key).copied().unwrap_or(0),
+            RankSource::Combined => {
+                self.abit.get(&key).copied().unwrap_or(0)
+                    + self.trace.get(&key).copied().unwrap_or(0)
+            }
+            RankSource::DevSketch => self.devsketch.get(&key).copied().unwrap_or(0),
         }
     }
 
@@ -120,6 +143,7 @@ impl EpochProfile {
         let keys: Vec<u64> = match source {
             RankSource::ABit => self.abit.keys().copied().collect(),
             RankSource::Trace => self.trace.keys().copied().collect(),
+            RankSource::DevSketch => self.devsketch.keys().copied().collect(),
             RankSource::Combined => {
                 // The pre-sort exists only to dedup the two-source union;
                 // the single-source branches need no sort at all (the
@@ -331,5 +355,33 @@ mod tests {
         assert_eq!(RankSource::Combined.label(), "TMP");
         assert_eq!(RankSource::ABit.label(), "A-bit");
         assert_eq!(RankSource::Trace.label(), "IBS");
+        assert_eq!(RankSource::DevSketch.label(), "DevSketch");
+    }
+
+    #[test]
+    fn devsketch_source_ranks_only_sketch_entries() {
+        // The sketch is its own source: it neither feeds nor reads the
+        // paper's Combined rule.
+        let mut p = EpochProfile::default();
+        let k1 = PageKey {
+            pid: 1,
+            vpn: Vpn(1),
+        }
+        .pack();
+        let k2 = PageKey {
+            pid: 1,
+            vpn: Vpn(2),
+        }
+        .pack();
+        p.abit.insert(k1, 4);
+        p.devsketch.insert(k2, 9);
+        assert_eq!(p.rank_of(k2, RankSource::DevSketch), 9);
+        assert_eq!(p.rank_of(k1, RankSource::DevSketch), 0);
+        assert_eq!(p.rank_of(k2, RankSource::Combined), 0);
+        let r = p.ranked(RankSource::DevSketch);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].key.vpn, Vpn(2));
+        assert_eq!(RankSource::ALL_WITH_DEVSKETCH.len(), 4);
+        assert_eq!(RankSource::ALL.len(), 3, "Fig. 6 schedule is pinned");
     }
 }

@@ -75,15 +75,12 @@ pub fn heat_concentration(counts: impl IntoIterator<Item = u64>, page_fraction: 
 pub fn numa_maps(machine: &mut Machine, pid: Pid) -> String {
     use std::fmt::Write;
     let layout = machine.memory().clone();
-    let mut rows: Vec<(u64, u64, &'static str, u64, u64)> = Vec::new();
+    let mut rows: Vec<(u64, u64, String, u64, u64)> = Vec::new();
     if let Some((pt, descs, _epoch)) = machine.scan_parts(pid) {
         pt.walk_present(|vpn, pte| {
             let pfn = pte.pfn();
             let d = descs.get(pfn);
-            let tier = match layout.tier_of(pfn) {
-                tmprof_sim::tier::Tier::Tier1 => "tier1",
-                tmprof_sim::tier::Tier::Tier2 => "tier2",
-            };
+            let tier = layout.tier_of(pfn).label();
             rows.push((vpn.0, pfn.0, tier, d.abit_total, d.trace_total));
         });
     }

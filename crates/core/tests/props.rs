@@ -10,7 +10,11 @@ fn arbitrary_profile() -> impl Strategy<Value = EpochProfile> {
         prop::collection::hash_map(0u64..500, 1u64..100, 0..60),
         prop::collection::hash_map(0u64..500, 1u64..100, 0..60),
     )
-        .prop_map(|(abit, trace)| EpochProfile { abit, trace })
+        .prop_map(|(abit, trace)| EpochProfile {
+            abit,
+            trace,
+            ..Default::default()
+        })
 }
 
 proptest! {

@@ -38,6 +38,9 @@ pub enum EventKind {
     TlbShootdown,
     /// A THP mapping fell back to base pages (`a` = base VPN).
     HugeFallback,
+    /// A nomination was skipped because demotion could not free a frame —
+    /// every slower tier was full (`a` = packed page key).
+    DemoteFailed,
 }
 
 impl EventKind {
@@ -51,6 +54,7 @@ impl EventKind {
             EventKind::MigrationBatch => "migration_batch",
             EventKind::TlbShootdown => "tlb_shootdown",
             EventKind::HugeFallback => "huge_fallback",
+            EventKind::DemoteFailed => "demote_failed",
         }
     }
 }

@@ -77,6 +77,10 @@ metrics! {
         "PTEs visited by A-bit scans";
     AbitObservations => "abit.observations",
         "A bits found set during scans";
+    DevsketchAccesses => "devsketch.accesses",
+        "slow-tier accesses fed into the device-side hot-page sketch";
+    DevsketchTopkPages => "devsketch.topk_pages",
+        "pages reported by the device sketch's per-epoch Top-K";
     // -- core: gating + daemon + epoch engine ---------------------------
     GateEvaluations => "gate.evaluations",
         "HWPC gate evaluation periods";
@@ -103,6 +107,8 @@ metrics! {
         "pages demoted to tier 2 by the mover";
     PolicyMigrationCycles => "policy.migration_cycles",
         "cycles charged for migration copies and batched shootdowns";
+    PolicyDemotionsFailed => "policy.demotions_failed",
+        "nominations skipped because no frame could be freed down the waterfall";
 }
 
 #[cfg(not(feature = "obs-off"))]

@@ -153,50 +153,47 @@ pub struct HitrateCell {
 /// (registered as [`tmprof_core::knobs::REPLAY_WORKERS`]).
 pub const WORKERS_ENV: &str = tmprof_core::knobs::REPLAY_WORKERS.name;
 
-/// Dense source index for per-epoch cache arrays.
-#[inline]
-fn src_idx(source: RankSource) -> usize {
-    match source {
-        RankSource::ABit => 0,
-        RankSource::Trace => 1,
-        RankSource::Combined => 2,
-    }
-}
-
 /// Shared per-run rank cache: every grid cell at (epoch, source) consults
 /// the same top-K ordering, just truncated at a different capacity — Oracle
 /// and History are the same sets offset by one epoch. So rank each epoch's
 /// profile exactly once at the sweep's *largest* capacity and store each
 /// page's position; a cell at capacity `c` tests `position < c`.
+///
+/// Positions are `u64`: the old `u32` maps silently truncated with `i as
+/// u32`, so position 2³² wrapped to 0 and a page far outside every capacity
+/// scored as resident (see `positions_beyond_u32_do_not_wrap`).
 struct RankCache {
-    /// `positions[epoch][src_idx(source)]`: packed key → 0-based position
-    /// in the (rank desc, key asc) order, present for the top
-    /// `max_capacity` pages only.
-    positions: Vec<[KeyMap<u64, u32>; 3]>,
+    /// `positions[epoch][si]` for source index `si` in the sweep's source
+    /// list: packed key → 0-based position in the (rank desc, key asc)
+    /// order, present for the top `max_capacity` pages only.
+    positions: Vec<Vec<KeyMap<u64, u64>>>,
     /// Packed key → first-occurrence index in first-touch order; membership
     /// of `first_touch_order.take(c)` is `position < c`.
-    first_touch_pos: KeyMap<u64, u32>,
+    first_touch_pos: KeyMap<u64, u64>,
 }
 
 impl RankCache {
-    fn build(log: &ReplayLog, max_capacity: usize) -> Self {
+    fn build(log: &ReplayLog, sources: &[RankSource], max_capacity: usize) -> Self {
         let positions = log
             .epochs
             .iter()
             .map(|e| {
-                RankSource::ALL.map(|s| {
-                    e.profile
-                        .top_k(s, max_capacity)
-                        .iter()
-                        .enumerate()
-                        .map(|(i, r)| (r.key.pack(), i as u32))
-                        .collect()
-                })
+                sources
+                    .iter()
+                    .map(|&s| {
+                        e.profile
+                            .top_k(s, max_capacity)
+                            .iter()
+                            .enumerate()
+                            .map(|(i, r)| (r.key.pack(), i as u64))
+                            .collect()
+                    })
+                    .collect()
             })
             .collect();
         let mut first_touch_pos = KeyMap::default();
         for (i, &key) in log.first_touch_order.iter().enumerate() {
-            first_touch_pos.entry(key).or_insert(i as u32);
+            first_touch_pos.entry(key).or_insert(i as u64);
         }
         Self {
             positions,
@@ -204,21 +201,16 @@ impl RankCache {
         }
     }
 
-    /// One cell against the cache. Float-identical to [`replay_hitrate`]:
-    /// hits/total accumulate as `u64` (order-independent) and the hitrate
-    /// is the same single `f64` division.
-    fn hitrate(
-        &self,
-        log: &ReplayLog,
-        policy: ReplayPolicy,
-        source: RankSource,
-        capacity: usize,
-    ) -> f64 {
-        let si = src_idx(source);
+    /// One cell against the cache (`si` indexes the source list the cache
+    /// was built over; ignored by FirstTouch). Float-identical to
+    /// [`replay_hitrate`]: hits/total accumulate as `u64`
+    /// (order-independent) and the hitrate is the same single `f64`
+    /// division.
+    fn hitrate(&self, log: &ReplayLog, policy: ReplayPolicy, si: usize, capacity: usize) -> f64 {
         let mut hits: u64 = 0;
         let mut total: u64 = 0;
         for (i, epoch) in log.epochs.iter().enumerate() {
-            let resident: &KeyMap<u64, u32> = match policy {
+            let resident: &KeyMap<u64, u64> = match policy {
                 ReplayPolicy::Oracle => &self.positions[i][si],
                 ReplayPolicy::History if i == 0 => &self.first_touch_pos,
                 ReplayPolicy::History => &self.positions[i - 1][si],
@@ -228,7 +220,7 @@ impl RankCache {
                 total += accesses;
                 if resident
                     .get(&page)
-                    .is_some_and(|&pos| (pos as usize) < capacity)
+                    .is_some_and(|&pos| pos < capacity as u64)
                 {
                     hits += accesses;
                 }
@@ -242,22 +234,27 @@ impl RankCache {
     }
 }
 
-/// The grid's cell schedule, in the canonical (serial) emission order.
+/// The grid's cell schedule, in the canonical (serial) emission order:
+/// `(policy, source, source index, ratio denominator, capacity)`. The
+/// first-touch baseline is emitted once per ratio (nominal source
+/// `Combined`, which its static placement ignores).
 fn grid_cells(
     footprint: usize,
     ratio_denominators: &[u32],
-) -> Vec<(ReplayPolicy, RankSource, u32, usize)> {
+    sources: &[RankSource],
+) -> Vec<(ReplayPolicy, RankSource, usize, u32, usize)> {
     let mut cells = Vec::new();
     for &denom in ratio_denominators {
         let capacity = (footprint / denom as usize).max(1);
         for policy in [ReplayPolicy::Oracle, ReplayPolicy::History] {
-            for source in RankSource::ALL {
-                cells.push((policy, source, denom, capacity));
+            for (si, &source) in sources.iter().enumerate() {
+                cells.push((policy, source, si, denom, capacity));
             }
         }
         cells.push((
             ReplayPolicy::FirstTouch,
             RankSource::Combined,
+            0,
             denom,
             capacity,
         ));
@@ -274,7 +271,7 @@ fn grid_cells(
 /// [`hitrate_grid_serial`], the seed reference implementation
 /// (property-tested in `tests/props.rs`).
 pub fn hitrate_grid(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
-    hitrate_grid_with_workers(log, ratio_denominators, None)
+    hitrate_grid_full(log, ratio_denominators, &RankSource::ALL, None)
 }
 
 /// [`hitrate_grid`] with an explicit worker cap (`None` defers to the
@@ -284,10 +281,31 @@ pub fn hitrate_grid_with_workers(
     ratio_denominators: &[u32],
     workers: Option<usize>,
 ) -> Vec<HitrateCell> {
+    hitrate_grid_full(log, ratio_denominators, &RankSource::ALL, workers)
+}
+
+/// [`hitrate_grid`] over an explicit profiling-source list — the
+/// `topology_grid` sweep passes [`RankSource::ALL_WITH_DEVSKETCH`] to rank
+/// the device-side sketch alongside the paper's three sources. With
+/// [`RankSource::ALL`] this is exactly the Fig. 6 schedule.
+pub fn hitrate_grid_with_sources(
+    log: &ReplayLog,
+    ratio_denominators: &[u32],
+    sources: &[RankSource],
+) -> Vec<HitrateCell> {
+    hitrate_grid_full(log, ratio_denominators, sources, None)
+}
+
+fn hitrate_grid_full(
+    log: &ReplayLog,
+    ratio_denominators: &[u32],
+    sources: &[RankSource],
+    workers: Option<usize>,
+) -> Vec<HitrateCell> {
     let footprint = log.footprint_pages().max(1);
-    let cells = grid_cells(footprint, ratio_denominators);
-    let max_capacity = cells.iter().map(|c| c.3).max().unwrap_or(1);
-    let cache = RankCache::build(log, max_capacity);
+    let cells = grid_cells(footprint, ratio_denominators, sources);
+    let max_capacity = cells.iter().map(|c| c.4).max().unwrap_or(1);
+    let cache = RankCache::build(log, sources, max_capacity);
 
     let n = cells.len();
     let configured = workers.or_else(|| {
@@ -302,8 +320,8 @@ pub fn hitrate_grid_with_workers(
 
     let mut rates: Vec<f64> = vec![0.0; n];
     if workers == 1 {
-        for (slot, &(policy, source, _, capacity)) in rates.iter_mut().zip(&cells) {
-            *slot = cache.hitrate(log, policy, source, capacity);
+        for (slot, &(policy, _, si, _, capacity)) in rates.iter_mut().zip(&cells) {
+            *slot = cache.hitrate(log, policy, si, capacity);
         }
     } else {
         // Same pull-from-a-shared-queue pattern as `bench::sweep` (which
@@ -321,8 +339,8 @@ pub fn hitrate_grid_with_workers(
                     if i >= n {
                         break;
                     }
-                    let (policy, source, _, capacity) = cells[i];
-                    let h = cache.hitrate(log, policy, source, capacity);
+                    let (policy, _, si, _, capacity) = cells[i];
+                    let h = cache.hitrate(log, policy, si, capacity);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = h;
                 });
             }
@@ -335,7 +353,7 @@ pub fn hitrate_grid_with_workers(
     cells
         .into_iter()
         .zip(rates)
-        .map(|((policy, source, denom, _), hitrate)| HitrateCell {
+        .map(|((policy, source, _, denom, _), hitrate)| HitrateCell {
             policy,
             source,
             ratio_denominator: denom,
@@ -349,9 +367,9 @@ pub fn hitrate_grid_with_workers(
 /// [`hitrate_grid`] is verified against (proptest + CI grid-identity check).
 pub fn hitrate_grid_serial(log: &ReplayLog, ratio_denominators: &[u32]) -> Vec<HitrateCell> {
     let footprint = log.footprint_pages().max(1);
-    grid_cells(footprint, ratio_denominators)
+    grid_cells(footprint, ratio_denominators, &RankSource::ALL)
         .into_iter()
-        .map(|(policy, source, denom, capacity)| HitrateCell {
+        .map(|(policy, source, _, denom, capacity)| HitrateCell {
             policy,
             source,
             ratio_denominator: denom,
@@ -511,14 +529,46 @@ mod tests {
                 RankSource::Combined,
                 capacity,
             );
-            let cache = RankCache::build(&log, capacity);
-            let cached = cache.hitrate(
-                &log,
-                ReplayPolicy::FirstTouch,
-                RankSource::Combined,
-                capacity,
-            );
+            let cache = RankCache::build(&log, &RankSource::ALL, capacity);
+            let cached = cache.hitrate(&log, ReplayPolicy::FirstTouch, 0, capacity);
             assert_eq!(serial.to_bits(), cached.to_bits(), "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn positions_beyond_u32_do_not_wrap() {
+        // Regression for the `i as u32` truncation: a page ranked at
+        // position 2³² used to wrap to position 0 and score as tier-1
+        // resident at every capacity. Building a 4-billion-entry rank is
+        // not testable, so pin the comparison path directly with a
+        // synthetic cache holding a position just past u32::MAX.
+        let mut log = ReplayLog::default();
+        let mut ep = ReplayEpoch::default();
+        ep.truth_mem.insert(key(1), 10);
+        log.epochs.push(ep);
+        let far = u32::MAX as u64 + 1;
+        let mut positions = KeyMap::default();
+        positions.insert(key(1), far);
+        let cache = RankCache {
+            positions: vec![vec![positions]],
+            first_touch_pos: KeyMap::default(),
+        };
+        let small = cache.hitrate(&log, ReplayPolicy::Oracle, 0, 4);
+        assert_eq!(small.to_bits(), 0.0f64.to_bits(), "wrapped position hit");
+        let huge = cache.hitrate(&log, ReplayPolicy::Oracle, 0, (far + 1) as usize);
+        assert_eq!(huge.to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn sources_grid_with_all_matches_default_grid() {
+        let log = rotating_log(5);
+        let a = hitrate_grid(&log, &PAPER_RATIOS);
+        let b = hitrate_grid_with_sources(&log, &PAPER_RATIOS, &RankSource::ALL);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.policy, y.policy);
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.hitrate.to_bits(), y.hitrate.to_bits());
         }
     }
 

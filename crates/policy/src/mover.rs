@@ -6,6 +6,18 @@
 //! Virtual addresses never change; migrated translations are invalidated
 //! with *one batched shootdown per process per epoch*, the cost structure
 //! the paper's epoch-based policies are designed around.
+//!
+//! On an N-tier [`MemTopology`](tmprof_sim::tier::MemTopology) demotion is
+//! a *waterfall*: to free a tier-k frame the coldest non-nominated tier-k
+//! resident moves to tier k+1, first cascading a demotion out of k+1 if that
+//! tier is itself full, and so on down to the slowest tier (HM-Keeper's
+//! multi-tier eviction shape). Each page moves at most one tier per epoch —
+//! the per-tier victim queues are snapshotted before the batch, so a page
+//! demoted this epoch is not re-demoted deeper in the same batch. When the
+//! cascade bottoms out (every slower tier full), the nomination is *skipped
+//! and counted* in [`MoveReport::demote_failed`] and journaled as a
+//! [`DemoteFailed`](tmprof_obs::journal::EventKind::DemoteFailed) event —
+//! it used to be silently lost (and a full slow tier was a panic).
 
 use std::collections::BTreeMap;
 
@@ -42,14 +54,63 @@ impl Default for MoverConfig {
 pub struct MoveReport {
     /// Pages promoted into tier 1.
     pub promoted: u64,
-    /// Pages demoted to tier 2.
+    /// Pages demoted one tier down the waterfall.
     pub demoted: u64,
     /// Nominations skipped because they were already resident in tier 1.
     pub already_placed: u64,
-    /// Nominations skipped because the page is no longer mapped.
+    /// Nominations or victims skipped because the page is no longer mapped
+    /// (or is a huge mapping the 4 KiB mover cannot relocate).
     pub unmapped: u64,
+    /// Nominations skipped because demotion could not free a frame: every
+    /// tier below held no demotable victim or no free frame.
+    pub demote_failed: u64,
     /// Cycles charged for copies and shootdowns.
     pub cycles: u64,
+}
+
+/// Per-tier coldest-first victim queues, snapshotted at the start of a
+/// batch. Queues for tiers below tier 1 are sorted lazily — on the default
+/// two-tier layout they are consulted only when tier 2 fills up.
+struct DemotionQueues {
+    /// `(packed key, epoch rank)` residents per tier, excluding nominated
+    /// pages. Once sorted hottest-first, `pop()` yields the coldest.
+    tiers: Vec<Vec<(u64, u64)>>,
+    sorted: Vec<bool>,
+}
+
+impl DemotionQueues {
+    fn new(num_tiers: usize) -> Self {
+        Self {
+            tiers: vec![Vec::new(); num_tiers],
+            sorted: vec![false; num_tiers],
+        }
+    }
+
+    // tmprof-lint: allow(panic-reachability) — `tiers` and `sorted` are sized one slot per topology tier in `new`, and `tier.index()` comes from that same topology
+    fn sort_now(&mut self, tier: Tier) {
+        let i = tier.index();
+        if !self.sorted[i] {
+            self.tiers[i].sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+            self.sorted[i] = true;
+        }
+    }
+
+    fn is_empty(&self, tier: Tier) -> bool {
+        self.tiers[tier.index()].is_empty()
+    }
+
+    fn pop_coldest(&mut self, tier: Tier) -> Option<u64> {
+        self.sort_now(tier);
+        self.tiers[tier.index()].pop().map(|(k, _)| k)
+    }
+}
+
+/// Why `free_frame_in` could not free a frame.
+enum FreeFail {
+    /// The tier holds no demotable (non-nominated, still-queued) victims.
+    NoVictims,
+    /// Demotion bottomed out: every slower tier is full.
+    SlowTiersFull,
 }
 
 /// The epoch-batched page mover.
@@ -83,22 +144,25 @@ impl PageMover {
         let mut report = MoveReport::default();
         let nominated: KeySet<u64> = placement.tier1_pages.iter().copied().collect();
 
-        // Current tier-1 residents, coldest-first for demotion order.
-        let mut residents: Vec<(u64, u64)> = machine
-            .descs()
-            .iter_owned()
-            .filter(|(pfn, _)| machine.memory().tier_of(*pfn) == Tier::Tier1)
-            .filter_map(|(_, d)| d.owner.map(|o| (o.pack(), d.epoch_rank())))
-            .collect();
-        // Sorted hottest-first so that `pop()` on the demotion queue always
-        // yields the coldest remaining resident.
-        residents.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
-        let resident_set: KeySet<u64> = residents.iter().map(|&(k, _)| k).collect();
-        let mut demotion_queue: Vec<u64> = residents
-            .iter()
-            .map(|&(k, _)| k)
-            .filter(|k| !nominated.contains(k))
-            .collect();
+        // One pass over the owned descriptors: the tier-1 resident set (for
+        // the already-placed check) plus per-tier victim queues, both from
+        // the pre-batch state.
+        let mut queues = DemotionQueues::new(machine.memory().num_tiers());
+        let mut resident_set: KeySet<u64> = KeySet::default();
+        for (pfn, d) in machine.descs().iter_owned() {
+            let Some(owner) = d.owner else { continue };
+            let key = owner.pack();
+            let tier = machine.memory().tier_of(pfn);
+            if tier == Tier::Tier1 {
+                resident_set.insert(key);
+            }
+            if !nominated.contains(&key) {
+                queues.tiers[tier.index()].push((key, d.epoch_rank()));
+            }
+        }
+        // The tier-1 queue is always consulted; sort it up front (hottest
+        // first, so `pop()` yields the coldest remaining resident).
+        queues.sort_now(Tier::Tier1);
 
         // Pages to move in, hottest first (placement order). The shootdown
         // batches are keyed in a BTreeMap so the per-process flushes fire in
@@ -111,23 +175,33 @@ impl PageMover {
             }
             let page = PageKey::unpack(key);
             // Ensure a free tier-1 frame: demote the coldest non-nominated
-            // resident if the tier is full.
+            // resident if the tier is full, cascading down the waterfall.
             if machine.frames().free_in(Tier::Tier1) == 0 {
-                let Some(victim_key) = demotion_queue.pop() else {
-                    break; // tier 1 entirely occupied by nominated pages
-                };
-                let victim = PageKey::unpack(victim_key);
-                match machine.migrate_page(victim.pid, victim.vpn, Tier::Tier2) {
-                    Ok(_) => {
-                        report.demoted += 1;
-                        report.cycles += self.cfg.per_page_cycles;
-                        shootdowns.entry(victim.pid).or_default().push(victim.vpn);
+                match self.free_frame_in(
+                    machine,
+                    Tier::Tier1,
+                    &mut queues,
+                    &mut report,
+                    &mut shootdowns,
+                ) {
+                    Ok(()) => {}
+                    Err(FreeFail::NoVictims) => {
+                        break; // tier 1 entirely occupied by nominated pages
                     }
-                    Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
-                        report.unmapped += 1;
+                    Err(FreeFail::SlowTiersFull) => {
+                        // Skip this nomination, but keep going: a later
+                        // epoch (or a victim unmapping) may free room.
+                        report.demote_failed += 1;
+                        tmprof_obs::metrics::inc(ObsMetric::PolicyDemotionsFailed);
+                        tmprof_obs::journal::record(
+                            ObsEvent::DemoteFailed,
+                            machine.clock(),
+                            machine.epoch(),
+                            key,
+                            0,
+                        );
+                        continue;
                     }
-                    // tmprof-lint: allow(panic-reachability) — migrate errors other than NotMapped/HugePage are simulator invariant breaches; crash loudly
-                    Err(e) => panic!("demotion failed: {e}"),
                 }
             }
             match machine.migrate_page(page.pid, page.vpn, Tier::Tier1) {
@@ -166,6 +240,163 @@ impl PageMover {
         self.total.demoted += report.demoted;
         self.total.already_placed += report.already_placed;
         self.total.unmapped += report.unmapped;
+        self.total.demote_failed += report.demote_failed;
+        self.total.cycles += report.cycles;
+        report
+    }
+
+    /// Free one frame in `tier` by demoting its coldest queued victim one
+    /// tier down, recursively freeing room below first when needed.
+    ///
+    /// Victims whose migration fails because the page went away or is a
+    /// huge mapping are counted in `unmapped` and the *next* victim is
+    /// tried — the historical code dropped the attempt on the floor, which
+    /// silently lost every remaining nomination of the batch.
+    fn free_frame_in(
+        &self,
+        machine: &mut Machine,
+        tier: Tier,
+        queues: &mut DemotionQueues,
+        report: &mut MoveReport,
+        shootdowns: &mut BTreeMap<Pid, Vec<Vpn>>,
+    ) -> Result<(), FreeFail> {
+        if machine.frames().free_in(tier) > 0 {
+            return Ok(());
+        }
+        if tier.index() + 1 >= machine.memory().num_tiers() {
+            // The slowest tier has nowhere to demote to.
+            return Err(FreeFail::SlowTiersFull);
+        }
+        let dest = tier.next_slower();
+        loop {
+            if queues.is_empty(tier) {
+                return Err(FreeFail::NoVictims);
+            }
+            // Make room below before taking a victim, so a cascade failure
+            // leaves the queue untouched.
+            if self
+                .free_frame_in(machine, dest, queues, report, shootdowns)
+                .is_err()
+            {
+                return Err(FreeFail::SlowTiersFull);
+            }
+            // tmprof-lint: allow(panic-reachability) — non-emptiness checked at the top of the loop and pops happen only here
+            let victim = PageKey::unpack(queues.pop_coldest(tier).unwrap());
+            match machine.migrate_page(victim.pid, victim.vpn, dest) {
+                Ok(_) => {
+                    report.demoted += 1;
+                    report.cycles += self.cfg.per_page_cycles;
+                    shootdowns.entry(victim.pid).or_default().push(victim.vpn);
+                    return Ok(());
+                }
+                Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
+                    report.unmapped += 1; // stale victim: try the next one
+                }
+                Err(MigrateError::AlreadyThere) => {
+                    // Queue snapshot went stale (page already demoted);
+                    // try the next victim.
+                }
+                Err(MigrateError::NoFrames(_)) => {
+                    // Defensive: room below was just ensured, but treat a
+                    // raced exhaustion as a cascade failure, not a panic.
+                    return Err(FreeFail::SlowTiersFull);
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of the historical flat two-tier batch,
+    /// with the fixed skip/count demotion semantics. Retained as the
+    /// decision-for-decision oracle for the N-tier waterfall (see the
+    /// `two_tier_waterfall_matches_reference` proptest); panics on
+    /// topologies with more than two tiers. Records no obs metrics.
+    pub fn apply_two_tier_reference(
+        &mut self,
+        machine: &mut Machine,
+        placement: &Placement,
+    ) -> MoveReport {
+        assert_eq!(
+            machine.memory().num_tiers(),
+            2,
+            "reference mover is two-tier only"
+        );
+        let mut report = MoveReport::default();
+        let nominated: KeySet<u64> = placement.tier1_pages.iter().copied().collect();
+
+        let mut residents: Vec<(u64, u64)> = machine
+            .descs()
+            .iter_owned()
+            .filter(|(pfn, _)| machine.memory().tier_of(*pfn) == Tier::Tier1)
+            .filter_map(|(_, d)| d.owner.map(|o| (o.pack(), d.epoch_rank())))
+            .collect();
+        residents.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
+        let resident_set: KeySet<u64> = residents.iter().map(|&(k, _)| k).collect();
+        let mut demotion_queue: Vec<u64> = residents
+            .iter()
+            .map(|&(k, _)| k)
+            .filter(|k| !nominated.contains(k))
+            .collect();
+
+        let mut shootdowns: BTreeMap<Pid, Vec<Vpn>> = BTreeMap::new();
+        'nominations: for &key in &placement.tier1_pages {
+            if resident_set.contains(&key) {
+                report.already_placed += 1;
+                continue;
+            }
+            let page = PageKey::unpack(key);
+            if machine.frames().free_in(Tier::Tier1) == 0 {
+                loop {
+                    if demotion_queue.is_empty() {
+                        break 'nominations; // tier 1 all nominated
+                    }
+                    if machine.frames().free_in(Tier::Tier2) == 0 {
+                        report.demote_failed += 1;
+                        continue 'nominations; // skip, keep going
+                    }
+                    // tmprof-lint: allow(panic-reachability) — emptiness checked at the top of the loop
+                    let victim = PageKey::unpack(demotion_queue.pop().unwrap());
+                    match machine.migrate_page(victim.pid, victim.vpn, Tier::Tier2) {
+                        Ok(_) => {
+                            report.demoted += 1;
+                            report.cycles += self.cfg.per_page_cycles;
+                            shootdowns.entry(victim.pid).or_default().push(victim.vpn);
+                            break;
+                        }
+                        Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
+                            report.unmapped += 1;
+                        }
+                        Err(MigrateError::AlreadyThere) => {}
+                        Err(MigrateError::NoFrames(_)) => {
+                            report.demote_failed += 1;
+                            continue 'nominations;
+                        }
+                    }
+                }
+            }
+            match machine.migrate_page(page.pid, page.vpn, Tier::Tier1) {
+                Ok(_) => {
+                    report.promoted += 1;
+                    report.cycles += self.cfg.per_page_cycles;
+                    shootdowns.entry(page.pid).or_default().push(page.vpn);
+                }
+                Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
+                    report.unmapped += 1;
+                }
+                Err(MigrateError::AlreadyThere) => {
+                    report.already_placed += 1;
+                }
+                Err(MigrateError::NoFrames(_)) => break,
+            }
+        }
+
+        for (pid, vpns) in shootdowns {
+            report.cycles += machine.shootdown(pid, &vpns, false);
+        }
+        self.total.promoted += report.promoted;
+        self.total.demoted += report.demoted;
+        self.total.already_placed += report.already_placed;
+        self.total.unmapped += report.unmapped;
+        self.total.demote_failed += report.demote_failed;
         self.total.cycles += report.cycles;
         report
     }
@@ -307,6 +538,88 @@ mod tests {
         // 4 copies + 1 batched shootdown (1 core).
         let ipi = m.config().latency.shootdown_ipi;
         assert_eq!(t.cycles, 4 * 1000 + ipi);
+    }
+
+    #[test]
+    fn full_slow_tier_skips_nomination_instead_of_panicking() {
+        // Regression: both tiers full. Freeing a tier-1 frame requires
+        // demoting to a tier-2 with no room — the historical mover panicked
+        // ("demotion failed: out of physical frames"). The fixed mover
+        // skips the nomination, counts it, and leaves placement untouched.
+        let mut m = machine(2, 2);
+        touch_n(&mut m, 4); // 0,1 tier1; 2,3 tier2 — zero free frames
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(2), key(3)],
+            },
+        );
+        assert_eq!(report.demote_failed, 2, "both nominations skipped");
+        assert_eq!(report.promoted, 0);
+        assert_eq!(report.demoted, 0);
+        assert_eq!(m.tier_of_page(1, Vpn(0)), Some(Tier::Tier1));
+        assert_eq!(m.tier_of_page(1, Vpn(2)), Some(Tier::Tier2));
+        assert_eq!(mover.totals().demote_failed, 2);
+    }
+
+    #[test]
+    fn stale_victim_does_not_abort_the_batch() {
+        // Regression: a victim whose migration fails (page gone) used to
+        // fall through to a doomed promotion and silently lose every
+        // remaining nomination. The fixed mover tries the next victim.
+        let mut m = machine(2, 16);
+        touch_n(&mut m, 4); // 0,1 tier1; 2,3 tier2
+                            // Corrupt frame 0's owner to an unmapped page of an unknown pid:
+                            // packs below every real key, so it is popped as the coldest
+                            // victim, and its migration fails NotMapped.
+        let pfn0 = m.frame_of(1, Vpn(0)).unwrap();
+        m.descs_mut().set_owner(
+            pfn0,
+            PageKey {
+                pid: 0,
+                vpn: Vpn(0),
+            },
+        );
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(2)],
+            },
+        );
+        assert_eq!(report.unmapped, 1, "stale victim counted");
+        assert_eq!(report.demoted, 1, "next-coldest victim demoted instead");
+        assert_eq!(report.promoted, 1, "nomination still lands");
+        assert_eq!(m.tier_of_page(1, Vpn(2)), Some(Tier::Tier1));
+    }
+
+    #[test]
+    fn three_tier_demotion_waterfalls() {
+        // tier1 and tier2 both full: promoting into tier 1 demotes a
+        // tier-1 victim to tier 2, which first demotes a tier-2 victim to
+        // tier 3 — one hop per page, per the waterfall.
+        let mut m = Machine::new(MachineConfig::scaled_topology(
+            1,
+            MemTopology::from_specs(vec![TierSpec::dram(2), TierSpec::cxl(2), TierSpec::nvm(8)]),
+            1 << 20,
+        ));
+        m.add_process(1);
+        touch_n(&mut m, 5); // 0,1 tier1; 2,3 tier2; 4 tier3
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key(4)],
+            },
+        );
+        assert_eq!(report.promoted, 1);
+        assert_eq!(report.demoted, 2, "tier1→tier2 and tier2→tier3 hops");
+        assert_eq!(m.tier_of_page(1, Vpn(4)), Some(Tier::Tier1));
+        // Coldest tier-1 resident landed in tier 2; coldest tier-2
+        // resident landed in tier 3.
+        assert_eq!(m.tier_of_page(1, Vpn(0)), Some(Tier::Tier2));
+        assert_eq!(m.tier_of_page(1, Vpn(2)), Some(Tier::Tier3));
     }
 
     #[test]

@@ -7,7 +7,9 @@ use tmprof_policy::hitrate::{
     hitrate_grid_serial, hitrate_grid_with_workers, replay_hitrate, ReplayEpoch, ReplayLog,
     ReplayPolicy, PAPER_RATIOS,
 };
-use tmprof_policy::policies::{HistoryPolicy, PlacementPolicy};
+use tmprof_policy::mover::{MoverConfig, PageMover};
+use tmprof_policy::policies::{HistoryPolicy, Placement, PlacementPolicy};
+use tmprof_sim::prelude::*;
 
 fn arbitrary_log() -> impl Strategy<Value = ReplayLog> {
     let epoch = (
@@ -16,7 +18,11 @@ fn arbitrary_log() -> impl Strategy<Value = ReplayLog> {
         prop::collection::hash_map(0u64..200, 1u64..100, 1..60),
     )
         .prop_map(|(abit, trace, truth_mem)| ReplayEpoch {
-            profile: EpochProfile { abit, trace },
+            profile: EpochProfile {
+                abit,
+                trace,
+                ..Default::default()
+            },
             truth_mem,
         });
     (
@@ -86,7 +92,7 @@ proptest! {
         profile in (
             prop::collection::hash_map(0u64..300, 1u64..50, 0..50),
             prop::collection::hash_map(0u64..300, 1u64..50, 0..50),
-        ).prop_map(|(abit, trace)| EpochProfile { abit, trace }),
+        ).prop_map(|(abit, trace)| EpochProfile { abit, trace, ..Default::default() }),
         capacity in 0usize..100,
     ) {
         let mut policy = HistoryPolicy::new(RankSource::Combined);
@@ -146,6 +152,62 @@ proptest! {
                 );
             }
         }
+    }
+
+    #[test]
+    fn two_tier_waterfall_matches_reference(
+        touches in prop::collection::vec(0u64..24, 1..48),
+        nominate in prop::collection::btree_set(0u64..24, 0..12),
+        t1_frames in 1u64..6,
+        t2_frames in 1u64..20,
+    ) {
+        // The N-tier waterfall restricted to two tiers must make exactly
+        // the decisions of the retained flat two-tier mover — same report
+        // counters, same final page placement — on arbitrary touch
+        // sequences and nomination sets, including full-slow-tier and
+        // stale-nomination corners. Topology pinned explicitly so the
+        // TMPROF_TOPOLOGY CI leg cannot reshape it.
+        // Fold the page space onto the machine's capacity so first-touch
+        // allocation never exhausts physical memory; nominations keep the
+        // full range so stale (never-touched) keys stay reachable.
+        let total = t1_frames + t2_frames;
+        let build = || {
+            let mut m = Machine::new(MachineConfig::scaled_topology(
+                1,
+                TieredMemory::with_frames(t1_frames, t2_frames),
+                1 << 20,
+            ));
+            m.add_process(1);
+            for &p in &touches {
+                m.touch(0, 1, VirtAddr((p % total) * PAGE_SIZE));
+            }
+            m
+        };
+        let placement = Placement {
+            tier1_pages: nominate
+                .iter()
+                .map(|&v| PageKey { pid: 1, vpn: Vpn(v) }.pack())
+                .collect(),
+        };
+        let mut m_new = build();
+        let mut m_ref = build();
+        let mut mover_new = PageMover::new(MoverConfig::default());
+        let mut mover_ref = PageMover::new(MoverConfig::default());
+        let r_new = mover_new.apply(&mut m_new, &placement);
+        let r_ref = mover_ref.apply_two_tier_reference(&mut m_ref, &placement);
+        prop_assert_eq!(r_new, r_ref);
+        let tiers_of = |m: &Machine| {
+            let mut v: Vec<(u64, Tier)> = m
+                .descs()
+                .iter_owned()
+                .filter_map(|(pfn, d)| {
+                    d.owner.map(|k| (k.pack(), m.memory().tier_of(pfn)))
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(tiers_of(&m_new), tiers_of(&m_ref));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! * [`thermostat`] — Thermostat-style sampled hot/cold classification
 //!   over BadgerTrap (§II-B / §VII related work);
 //! * [`badgertrap`] — fault-based TLB-miss interception (poisoned PTEs),
-//!   also the substrate for the NVM latency emulation in `tmprof-emul`.
+//!   also the substrate for the NVM latency emulation in `tmprof-emul`;
+//! * [`devsketch`] — NeoMem-style device-side hot-page tracker (count-min
+//!   sketch + Top-K over the slow-tier access stream).
 //!
 //! The TMP profiler (`tmprof-core`) composes these; policies consume the
 //! per-page statistics they accumulate.
@@ -23,6 +25,7 @@
 pub mod abit;
 pub mod autonuma;
 pub mod badgertrap;
+pub mod devsketch;
 pub mod hwpc;
 pub mod pml;
 pub mod thermostat;
@@ -31,6 +34,7 @@ pub mod trace;
 pub use abit::{ABitConfig, ABitScanner};
 pub use autonuma::AutoNumaScanner;
 pub use badgertrap::BadgerTrap;
+pub use devsketch::{DevSketch, DevSketchConfig};
 pub use hwpc::{HwpcMonitor, PmuEvent};
 pub use pml::PmlTracker;
 pub use thermostat::Thermostat;

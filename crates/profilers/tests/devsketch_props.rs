@@ -1,0 +1,90 @@
+//! Property suite: the device-side hot-page sketch is deterministic.
+//!
+//! The sketch's whole value as a profiling source is that two observers of
+//! the same slow-tier stream agree — there is no sampling, no timing, no
+//! hashing randomness. Held under arbitrary streams:
+//!
+//! * **Determinism**: the same stream fed into two independently built
+//!   sketches yields the same Top-K, element for element, in the same
+//!   order (order-stability).
+//! * **Chunking-independence**: feeding one access at a time and feeding
+//!   the stream in arbitrary chunks produce identical state.
+//! * **Top-K soundness**: the table never exceeds K entries, estimates
+//!   never undercount a frame's true frequency (count-min one-sided
+//!   error), and the report is sorted (estimate descending, frame
+//!   ascending).
+//! * **Epoch isolation**: a reset returns the sketch to a state
+//!   indistinguishable from fresh for any subsequent stream.
+
+use proptest::prelude::*;
+
+use tmprof_profilers::devsketch::{DevSketch, DevSketchConfig};
+use tmprof_sim::addr::Pfn;
+
+fn stream() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..512, 0..400)
+}
+
+fn feed_all(s: &mut DevSketch, pfns: &[u64]) {
+    let stream: Vec<Pfn> = pfns.iter().map(|&p| Pfn(p)).collect();
+    s.feed_stream(&stream);
+}
+
+proptest! {
+    #[test]
+    fn same_stream_same_topk_in_the_same_order(pfns in stream(), k in 1usize..32) {
+        let mut a = DevSketch::new(DevSketchConfig { k });
+        let mut b = DevSketch::new(DevSketchConfig { k });
+        feed_all(&mut a, &pfns);
+        feed_all(&mut b, &pfns);
+        prop_assert_eq!(a.top_k(), b.top_k());
+    }
+
+    #[test]
+    fn chunked_feeding_matches_per_access_feeding(
+        pfns in stream(),
+        cut in 0usize..400,
+    ) {
+        let mut whole = DevSketch::new(DevSketchConfig { k: 16 });
+        feed_all(&mut whole, &pfns);
+        let mut split = DevSketch::new(DevSketchConfig { k: 16 });
+        let cut = cut.min(pfns.len());
+        feed_all(&mut split, &pfns[..cut]);
+        feed_all(&mut split, &pfns[cut..]);
+        prop_assert_eq!(whole.top_k(), split.top_k());
+        prop_assert_eq!(whole.stats(), split.stats());
+    }
+
+    #[test]
+    fn topk_is_bounded_sorted_and_never_undercounts(
+        pfns in stream(),
+        k in 1usize..32,
+    ) {
+        let mut s = DevSketch::new(DevSketchConfig { k });
+        feed_all(&mut s, &pfns);
+        let top = s.top_k();
+        prop_assert!(top.len() <= k);
+        for w in top.windows(2) {
+            prop_assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 .0 < w[1].0 .0),
+                "unsorted: {:?} before {:?}", w[0], w[1]
+            );
+        }
+        // Count-min error is one-sided: estimates only overcount.
+        for (pfn, estimate) in top {
+            let truth = pfns.iter().filter(|&&p| p == pfn.0).count() as u64;
+            prop_assert!(estimate >= truth, "{pfn:?}: {estimate} < true {truth}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state(first in stream(), second in stream()) {
+        let mut reused = DevSketch::new(DevSketchConfig { k: 16 });
+        feed_all(&mut reused, &first);
+        reused.reset_epoch();
+        feed_all(&mut reused, &second);
+        let mut fresh = DevSketch::new(DevSketchConfig { k: 16 });
+        feed_all(&mut fresh, &second);
+        prop_assert_eq!(reused.top_k(), fresh.top_k());
+    }
+}

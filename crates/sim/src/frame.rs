@@ -2,7 +2,8 @@
 //!
 //! The allocator implements the paper's baseline placement — "a NUMA-like,
 //! first-come-first-allocate tiered-memory policy" (§VI-C): allocations are
-//! satisfied from tier 1 until it is exhausted, then spill to tier 2. Frames
+//! satisfied from tier 1 until it is exhausted, then spill down the tier
+//! order (tier 2, then any deeper tiers of an N-tier topology). Frames
 //! freed by migration return to their tier's free list so the page mover can
 //! exchange hot and cold pages between tiers.
 //!
@@ -60,10 +61,10 @@ impl TierFree {
     }
 }
 
-/// Free-list frame allocator over the two-tier physical space.
+/// Free-list frame allocator over the N-tier physical space.
 pub struct FrameAllocator {
-    free: [TierFree; 2],
-    allocated: [u64; 2],
+    free: Vec<TierFree>,
+    allocated: Vec<u64>,
 }
 
 /// Error returned when no frame is available.
@@ -91,19 +92,25 @@ impl FrameAllocator {
     /// Frames are handed out in ascending address order, which makes
     /// allocation deterministic and heatmaps (Figs. 3–4) readable.
     pub fn new(layout: &TieredMemory) -> Self {
-        let free = Tier::ALL.map(|tier| {
-            let first = layout.first_frame(tier).0;
-            let count = layout.spec(tier).frames;
-            TierFree {
-                fresh_lo: first,
-                fresh_hi: first + count,
-                recycled: Vec::new(),
-            }
-        });
-        Self {
-            free,
-            allocated: [0, 0],
-        }
+        let free: Vec<TierFree> = layout
+            .tiers()
+            .map(|tier| {
+                let first = layout.first_frame(tier).0;
+                let count = layout.spec(tier).frames;
+                TierFree {
+                    fresh_lo: first,
+                    fresh_hi: first + count,
+                    recycled: Vec::new(),
+                }
+            })
+            .collect();
+        let allocated = vec![0; free.len()];
+        Self { free, allocated }
+    }
+
+    /// Number of tiers this allocator partitions frames over.
+    pub fn num_tiers(&self) -> usize {
+        self.free.len()
     }
 
     /// Allocate from a specific tier.
@@ -122,11 +129,15 @@ impl FrameAllocator {
         Ok(pfn)
     }
 
-    /// First-come-first-allocate: tier 1 first, spill to tier 2.
+    /// First-come-first-allocate: fill the fastest tier first, then spill
+    /// down the waterfall tier by tier.
     pub fn alloc_first_touch(&mut self) -> Result<Pfn, OutOfMemory> {
-        self.alloc_in(Tier::Tier1)
-            .or_else(|_| self.alloc_in(Tier::Tier2))
-            .map_err(|_| OutOfMemory { tier: None })
+        for i in 0..self.free.len() {
+            if let Ok(pfn) = self.alloc_in(Tier::from_index(i)) {
+                return Ok(pfn);
+            }
+        }
+        Err(OutOfMemory { tier: None })
     }
 
     /// Allocate a contiguous 512-frame run for a 2 MiB huge page from a
@@ -164,10 +175,9 @@ impl FrameAllocator {
         Some(base)
     }
 
-    /// Huge first-touch: tier 1 first, spill to tier 2.
+    /// Huge first-touch: fastest tier first, spilling down the waterfall.
     pub fn alloc_huge_first_touch(&mut self) -> Option<Pfn> {
-        self.alloc_huge_in(Tier::Tier1)
-            .or_else(|| self.alloc_huge_in(Tier::Tier2))
+        (0..self.free.len()).find_map(|i| self.alloc_huge_in(Tier::from_index(i)))
     }
 
     /// Return a huge page's 512 frames to their tier's free list.
@@ -344,6 +354,23 @@ mod tests {
         assert_eq!(p, l.first_frame(Tier::Tier1));
         let huge = fa.alloc_huge_in(Tier::Tier2).unwrap();
         assert_eq!(huge.0 + 511, l.first_frame(Tier::Tier2).0 + (1 << 30) - 1);
+    }
+
+    #[test]
+    fn first_touch_waterfalls_through_three_tiers() {
+        use crate::tier::{MemTopology, TierSpec};
+        let l =
+            MemTopology::from_specs(vec![TierSpec::dram(2), TierSpec::cxl(3), TierSpec::nvm(4)]);
+        let mut fa = FrameAllocator::new(&l);
+        assert_eq!(fa.num_tiers(), 3);
+        let mut tiers = Vec::new();
+        for _ in 0..9 {
+            tiers.push(l.tier_of(fa.alloc_first_touch().unwrap()));
+        }
+        assert_eq!(&tiers[..2], &[Tier::Tier1; 2]);
+        assert_eq!(&tiers[2..5], &[Tier::Tier2; 3]);
+        assert_eq!(&tiers[5..], &[Tier::Tier3; 4]);
+        assert_eq!(fa.alloc_first_touch(), Err(OutOfMemory { tier: None }));
     }
 
     #[test]

@@ -160,13 +160,25 @@ impl MachineConfig {
     }
 
     /// A scaled-down machine suitable for fast experiments: smaller caches,
-    /// `t1_frames`/`t2_frames` of tiered memory, IBS period `period`.
+    /// `t1_frames`/`t2_frames` of tiered memory, IBS period `period`. The
+    /// `TMPROF_TOPOLOGY` knob reshapes the layout (same totals, slow
+    /// frames split across the named slow tiers); unset means the default
+    /// two-tier DRAM+NVM machine.
     pub fn scaled(cores: usize, t1_frames: u64, t2_frames: u64, period: u64) -> Self {
+        Self::scaled_topology(
+            cores,
+            TieredMemory::scaled_from_env(t1_frames, t2_frames),
+            period,
+        )
+    }
+
+    /// A scaled-down machine over an arbitrary N-tier memory layout.
+    pub fn scaled_topology(cores: usize, memory: TieredMemory, period: u64) -> Self {
         Self {
             cores,
             caches: CacheProfile::scaled_down(16),
             latency: LatencyConfig::default(),
-            memory: TieredMemory::with_frames(t1_frames, t2_frames),
+            memory,
             trace_mode: TraceMode::IbsOp { period },
         }
     }
@@ -316,6 +328,12 @@ pub struct Machine {
     /// Packed [`PageKey`]s in the order they were first touched (minor
     /// faults). Feeds the first-come-first-allocate baseline evaluation.
     first_touch_log: Vec<u64>,
+    /// When enabled, every LLC miss served from a non-fastest tier appends
+    /// its frame here — the access stream a device-side hot-page tracker
+    /// (NeoMem-style CXL controller counter) would observe. Off by default;
+    /// drained per epoch by the devsketch profiler.
+    device_stream: bool,
+    device_log: Vec<Pfn>,
 }
 
 impl Machine {
@@ -353,7 +371,26 @@ impl Machine {
             epoch: 0,
             fault_policy: None,
             first_touch_log: Vec::new(),
+            device_stream: false,
+            device_log: Vec::new(),
         }
+    }
+
+    /// Enable or disable recording of the device-side slow-tier access
+    /// stream (see [`Self::take_device_accesses`]). Disabled by default —
+    /// the default paths pay nothing for it.
+    pub fn set_device_stream(&mut self, enabled: bool) {
+        self.device_stream = enabled;
+        if !enabled {
+            self.device_log = Vec::new();
+        }
+    }
+
+    /// Drain the frames of slow-tier memory accesses observed since the
+    /// last drain, in access order. Empty unless
+    /// [`Self::set_device_stream`] enabled recording.
+    pub fn take_device_accesses(&mut self) -> Vec<Pfn> {
+        std::mem::take(&mut self.device_log)
     }
 
     /// Machine configuration.
@@ -779,14 +816,18 @@ impl Machine {
                     self.cfg.memory.load_latency(pfn)
                 };
                 core.counts.llc_misses += 1;
-                match t {
-                    Tier::Tier1 => core.counts.tier1_accesses += 1,
-                    Tier::Tier2 => {
-                        core.counts.tier2_accesses += 1;
-                        if store {
-                            core.counts.tier2_stores += 1;
-                        }
+                // tier2_* counters aggregate every slower-than-fastest tier;
+                // under the default two-tier layout that is exactly tier 2.
+                if t.is_fastest() {
+                    core.counts.tier1_accesses += 1;
+                } else {
+                    core.counts.tier2_accesses += 1;
+                    if store {
+                        core.counts.tier2_stores += 1;
                     }
+                }
+                if self.device_stream && !t.is_fastest() {
+                    self.device_log.push(pfn);
                 }
                 let fill = self.llc.fill(pa.line(), store);
                 if let Some(victim_line) = fill.writeback {
@@ -826,11 +867,14 @@ impl Machine {
         source == CacheLevel::Memory
     }
 
-    /// Account a dirty line written back to memory (tier 2 writebacks are
-    /// the NVM write-endurance/energy cost).
+    /// Account a dirty line written back to memory (slow-tier writebacks
+    /// are the NVM write-endurance/energy cost).
     fn count_memory_writeback(memory: &TieredMemory, counts: &mut EventCounts, victim_line: u64) {
         let victim_pfn = PhysAddr(victim_line << crate::addr::LINE_SHIFT).pfn();
-        if victim_pfn.0 < memory.total_frames() && memory.tier_of(victim_pfn) == Tier::Tier2 {
+        if memory
+            .try_tier_of(victim_pfn)
+            .is_ok_and(|t| !t.is_fastest())
+        {
             counts.tier2_writebacks += 1;
         }
     }

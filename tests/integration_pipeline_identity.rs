@@ -57,11 +57,13 @@ fn assert_rankings_identical(serial: &WorkloadRun, piped: &WorkloadRun, label: &
             let ra = EpochProfile {
                 abit: a.profile.abit.clone(),
                 trace: a.profile.trace.clone(),
+                ..Default::default()
             }
             .ranked(source);
             let rb = EpochProfile {
                 abit: b.profile.abit.clone(),
                 trace: b.profile.trace.clone(),
+                ..Default::default()
             }
             .ranked(source);
             assert_eq!(ra, rb, "{label}: epoch {i} {source:?} ranking");
