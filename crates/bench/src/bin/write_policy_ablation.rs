@@ -48,12 +48,14 @@ fn asymmetric_machine(cores: usize, t1: u64, t2: u64, period: u64) -> Machine {
                 frames: t1,
                 load_latency: 320,
                 store_latency: 320,
+                epoch_bytes_budget: None,
             },
             // NVM: 3.75x slower reads, 12.5x slower writes (PCM-like).
             TierSpec {
                 frames: t2,
                 load_latency: 1200,
                 store_latency: 4000,
+                epoch_bytes_budget: None,
             },
         ),
         trace_mode: TraceMode::IbsOp { period },

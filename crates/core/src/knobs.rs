@@ -156,6 +156,49 @@ pub const DEVSKETCH_K: Knob = Knob {
            cost of modeled device SRAM.",
 };
 
+/// Worker threads for the multi-tenant fleet scheduler.
+pub const FLEET_WORKERS: Knob = Knob {
+    name: "TMPROF_FLEET_WORKERS",
+    default: "1",
+    accepts: "positive integer (1 = serial reference schedule)",
+    help: "Worker threads for the work-stealing fleet scheduler \
+           (tmprof_core::sched): per-shard scan and migration work units \
+           run on per-worker Chase-Lev deques. 1 (the default) is the \
+           authoritative serial schedule; any higher count is \
+           decision-identical to it (the fleet identity suite enforces \
+           it), only wall-clock time changes.",
+};
+
+/// Per-tenant promotion quota for fleet admission control.
+pub const ADMIT_PROMO: Knob = Knob {
+    name: "TMPROF_ADMIT_PROMO",
+    default: "unset (unlimited)",
+    accepts: "positive integer (pages per tenant per epoch)",
+    help: "Token-bucket promotion quota per tenant per epoch in the fleet \
+           runner; refills every epoch up to the burst cap. Unset or 0 \
+           disables admission control for promotions.",
+};
+
+/// Per-tenant demotion quota for fleet admission control.
+pub const ADMIT_DEMO: Knob = Knob {
+    name: "TMPROF_ADMIT_DEMO",
+    default: "unset (unlimited)",
+    accepts: "positive integer (pages per tenant per epoch)",
+    help: "Token-bucket demotion quota per tenant per epoch in the fleet \
+           runner; refills every epoch up to the burst cap. Unset or 0 \
+           disables admission control for demotions.",
+};
+
+/// Burst multiple for the fleet admission token buckets.
+pub const ADMIT_BURST: Knob = Knob {
+    name: "TMPROF_ADMIT_BURST",
+    default: "1",
+    accepts: "positive integer (multiple of the per-epoch refill)",
+    help: "Cap of each admission token bucket as a multiple of its \
+           per-epoch refill: an idle tenant banks up to burst * quota \
+           tokens and may spend them in one epoch.",
+};
+
 /// Output directory for per-cell sweep metrics sidecars.
 pub const OBS_DIR: Knob = Knob {
     name: "TMPROF_OBS_DIR",
@@ -177,6 +220,10 @@ pub const ALL: &[Knob] = &[
     TOPOLOGY,
     DEVSKETCH_K,
     DESC_CHUNK,
+    FLEET_WORKERS,
+    ADMIT_PROMO,
+    ADMIT_DEMO,
+    ADMIT_BURST,
     OBS_JOURNAL,
     OBS_DIR,
 ];

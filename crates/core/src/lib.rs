@@ -42,6 +42,7 @@ pub mod knobs;
 pub mod profiler;
 pub mod rank;
 pub mod report;
+pub mod sched;
 
 pub use profiler::{Tmp, TmpConfig, TmpEpochReport};
 pub use rank::{EpochProfile, RankSource, RankedPage};

@@ -179,16 +179,57 @@ impl Tmp {
     /// Close the current epoch: poll hardware, scan PTEs, snapshot the
     /// profile, evaluate gating, reset per-epoch counters, and advance the
     /// machine's epoch clock.
+    ///
+    /// Expressed through the staged close —
+    /// [`Tmp::begin_epoch_close`] / [`Tmp::scan_epoch_pid`] /
+    /// [`Tmp::finish_epoch_close`] — which the fleet scheduler carves into
+    /// stealable work units; running the stages back-to-back here *is* the
+    /// serial schedule, so the two paths are identical by construction.
     pub fn end_epoch(&mut self, machine: &mut Machine) -> TmpEpochReport {
-        let epoch = machine.epoch();
+        // 1–2. Poll, filter, and walk every tracked page table in order.
+        let pids = self.begin_epoch_close(machine);
+        for pid in pids {
+            self.scan_epoch_pid(machine, pid);
+        }
+        // 3–6. Snapshot, account, gate, and cross the horizon.
+        self.finish_epoch_close(machine)
+    }
 
-        // 1. Drain trace buffers (kernel-module poll).
+    /// Stage 1 of the epoch close: drain the trace buffers (kernel-module
+    /// poll) and re-evaluate the process filter. Returns the tracked pids
+    /// whose page tables stage 2 must scan (in this order) before
+    /// [`Tmp::finish_epoch_close`] runs.
+    pub fn begin_epoch_close(&mut self, machine: &mut Machine) -> Vec<tmprof_sim::tlb::Pid> {
         self.trace.poll(machine);
+        self.filter.tracked_pids(machine)
+    }
 
-        // 2. Daemon re-evaluates which processes matter, then the A-bit
-        //    driver walks exactly those page tables.
-        let pids = self.filter.tracked_pids(machine);
-        self.abit.scan(machine, &pids);
+    /// Stage 2 of the epoch close, one work unit per call: A-bit-scan one
+    /// tracked pid's page table under the configured budget. Units for
+    /// different pids are independent; units for the same pid resume from
+    /// the scan cursor and must stay in order.
+    pub fn scan_epoch_pid(&mut self, machine: &mut Machine, pid: tmprof_sim::tlb::Pid) {
+        self.abit.scan_process(machine, pid);
+    }
+
+    /// Stage 2 variant with an explicit per-unit PTE budget, for carving
+    /// one pid's scan into several stealable units. Returns `true` while
+    /// the walk stopped mid-table (more units needed to spend the rest of
+    /// the pid's epoch budget).
+    pub fn scan_epoch_pid_unit(
+        &mut self,
+        machine: &mut Machine,
+        pid: tmprof_sim::tlb::Pid,
+        budget: u64,
+    ) -> bool {
+        self.abit.scan_process_unit(machine, pid, budget)
+    }
+
+    /// Stages 3–6 of the epoch close: snapshot the profile, build the
+    /// detection sets, evaluate gating, reset per-epoch counters, and
+    /// advance the machine's epoch clock.
+    pub fn finish_epoch_close(&mut self, machine: &mut Machine) -> TmpEpochReport {
+        let epoch = machine.epoch();
 
         // 3. Snapshot per-page observations before the counters reset,
         //    folding in the device sketch's Top-K (empty when disabled).

@@ -1,0 +1,530 @@
+//! Work-stealing fleet scheduler (multi-tenant epoch pipeline).
+//!
+//! A production tiered-memory node serves thousands of tenants; closing
+//! every tenant's epoch serially on one thread leaves the other cores of
+//! the profiling daemon idle exactly when the node is busiest. This module
+//! schedules *chains* — per-shard sequences of work units such as "execute
+//! a quantum", "scan one tracked pid's page tables", "apply the migration
+//! batch" — over a pool of workers with per-worker Chase–Lev deques:
+//! owners push/pop work at the bottom of their own deque, idle workers
+//! steal from the top of a victim's.
+//!
+//! # Determinism contract
+//!
+//! The scheduler preserves *per-chain program order*: a chain index lives
+//! in at most one deque at any moment, and only the worker that just ran a
+//! step may re-push it, so steps of one chain never reorder or overlap no
+//! matter which workers execute them or in what interleaving. Chains that
+//! share no state therefore produce results identical to the serial
+//! reference (`workers <= 1`), which runs chains to completion in index
+//! order — the fleet identity proptest holds migrations, rankings, and
+//! gate flips to this across worker counts.
+//!
+//! # Observability contract
+//!
+//! Metrics and the event journal are thread-local. Each worker brackets
+//! its run with [`Snapshot`] and the coordinator folds the per-worker
+//! counter deltas back into the calling thread in worker-index order
+//! ([`tmprof_obs::metrics::fold_delta`]); counters commute, so fleet
+//! totals equal what a serial run records. Journal events recorded on a
+//! worker thread are *dropped* by design — schedule-dependent interleaved
+//! timelines are worse than no timeline. Chain steps that need an event
+//! journaled must buffer it as data and let the coordinator record it
+//! after [`run_chains`] returns, in deterministic shard order (the fleet
+//! runner does this for admission rejections).
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::Mutex;
+
+use tmprof_obs::metrics::{self, Metric, Snapshot};
+
+/// Scheduler outcome: how the units moved, for the `sched.*` metrics and
+/// the fleet bench's throughput accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Work units (chain steps) executed, summed over workers.
+    pub units_executed: u64,
+    /// Units a worker stole from another worker's deque (0 when serial).
+    pub units_stolen: u64,
+    /// Deepest per-worker deque observed (serial: all chains on one queue).
+    pub queue_depth_peak: u64,
+    /// Workers that actually ran (1 = the serial reference path).
+    pub workers: usize,
+    /// Summed [`UnitOutcome::cost`] of the units each worker executed, in
+    /// worker-index order (serial: one entry holding the total). The cost
+    /// of every unit is schedule-invariant, so `worker_busy.iter().sum()`
+    /// is identical across worker counts; only the *split* changes.
+    pub worker_busy: Vec<u64>,
+}
+
+impl SchedStats {
+    /// Total unit cost executed, summed over workers. Schedule-invariant.
+    pub fn total_cost(&self) -> u64 {
+        self.worker_busy.iter().sum()
+    }
+
+    /// The schedule's critical path: the busiest worker's summed unit
+    /// cost. The serial reference's makespan is the total; a perfectly
+    /// balanced `w`-worker schedule approaches `total / w`.
+    pub fn makespan(&self) -> u64 {
+        self.worker_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `total_cost / makespan`: how much faster this schedule retires the
+    /// same work than the serial reference, in the work units' own cost
+    /// model (1.0 for serial by construction).
+    pub fn parallel_speedup(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan == 0 {
+            1.0
+        } else {
+            self.total_cost() as f64 / makespan as f64
+        }
+    }
+}
+
+/// What one chain step hands back to the scheduler: whether the chain has
+/// more units, and what this unit cost in the caller's own cost model
+/// (the fleet runner charges simulated machine cycles). Costs feed the
+/// per-worker busy accounting ([`SchedStats::worker_busy`]) and must not
+/// depend on the schedule — measure the unit's *modeled* work, not
+/// host wall-clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnitOutcome {
+    /// `true` while the chain has further units this round.
+    pub more: bool,
+    /// The unit's cost (schedule-invariant; 0 is allowed).
+    pub cost: u64,
+}
+
+/// Resolve a worker count from the `TMPROF_FLEET_WORKERS` knob; unset,
+/// zero, or unparsable means 1 — the serial reference schedule.
+pub fn workers_from_env() -> usize {
+    crate::knobs::FLEET_WORKERS.get_u64().unwrap_or(1) as usize
+}
+
+/// A fixed-capacity Chase–Lev work-stealing deque of chain indices.
+///
+/// Capacity is a power of two at least `chains + 1`; since every chain
+/// index lives in at most one deque at a time, `bottom - top` can never
+/// reach the capacity and slots are never overwritten while a thief still
+/// holds a stale read — the classic growth/ABA hazards are excluded by
+/// sizing rather than handled. All orderings are `SeqCst`: the deques are
+/// cold next to the simulated work in a unit.
+struct Deque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    mask: i64,
+    buf: Box<[AtomicU64]>,
+}
+
+impl Deque {
+    fn new(chains: usize) -> Self {
+        let cap = (chains + 1).next_power_of_two();
+        Self {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            mask: cap as i64 - 1,
+            buf: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, i: i64) -> &AtomicU64 {
+        // tmprof-lint: allow(panic-reachability) — mask keeps the index inside buf by construction
+        &self.buf[(i & self.mask) as usize]
+    }
+
+    /// Owner-only: push a chain index at the bottom.
+    fn push(&self, v: u64) {
+        let b = self.bottom.load(SeqCst);
+        self.slot(b).store(v, SeqCst);
+        self.bottom.store(b + 1, SeqCst);
+    }
+
+    /// Owner-only: pop the most recently pushed index (LIFO keeps a
+    /// chain's state hot in the worker that just advanced it).
+    fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(SeqCst) - 1;
+        self.bottom.store(b, SeqCst);
+        let t = self.top.load(SeqCst);
+        if t > b {
+            // Empty: undo the reservation.
+            self.bottom.store(b + 1, SeqCst);
+            return None;
+        }
+        let v = self.slot(b).load(SeqCst);
+        if t == b {
+            // Last element: race the thieves for it.
+            let won = self.top.compare_exchange(t, t + 1, SeqCst, SeqCst).is_ok();
+            self.bottom.store(b + 1, SeqCst);
+            return won.then_some(v);
+        }
+        Some(v)
+    }
+
+    /// Any thread: steal the oldest index from the top.
+    fn steal(&self) -> Option<u64> {
+        let t = self.top.load(SeqCst);
+        let b = self.bottom.load(SeqCst);
+        if t >= b {
+            return None;
+        }
+        let v = self.slot(t).load(SeqCst);
+        self.top
+            .compare_exchange(t, t + 1, SeqCst, SeqCst)
+            .is_ok()
+            .then_some(v)
+    }
+
+    /// Entries currently queued (racy; used only for the depth gauge).
+    fn depth(&self) -> u64 {
+        (self.bottom.load(SeqCst) - self.top.load(SeqCst)).max(0) as u64
+    }
+}
+
+/// What one worker hands back to the coordinator.
+struct WorkerOut {
+    executed: u64,
+    stolen: u64,
+    busy: u64,
+    delta: Snapshot,
+}
+
+/// Run `states` as independent chains: `step(i, &mut states[i])` is called
+/// repeatedly, in order, until it returns `false` for that chain. Returns
+/// the final states (always in input order) and the schedule's stats.
+///
+/// `workers <= 1` is the authoritative serial reference: chains run to
+/// completion in index order on the calling thread, with metrics and
+/// journal writes landing exactly where a plain loop would put them.
+/// `workers > 1` executes the same per-chain step sequences over the
+/// work-stealing pool; see the module docs for the determinism and
+/// observability contracts. Also records the `sched.*` metrics.
+pub fn run_chains<S, F>(states: Vec<S>, step: F, workers: usize) -> (Vec<S>, SchedStats)
+where
+    S: Send,
+    F: Fn(usize, &mut S) -> bool + Sync,
+{
+    run_chains_weighted(
+        states,
+        |i, s| UnitOutcome {
+            more: step(i, s),
+            cost: 1,
+        },
+        workers,
+    )
+}
+
+/// [`run_chains`] with per-unit costs: each step reports what it cost in
+/// the caller's own (schedule-invariant) cost model, and the scheduler
+/// accounts the per-worker busy totals so callers can compare a
+/// schedule's critical path ([`SchedStats::makespan`]) against the serial
+/// reference's. The fleet bench's throughput numbers come from here.
+pub fn run_chains_weighted<S, F>(states: Vec<S>, step: F, workers: usize) -> (Vec<S>, SchedStats)
+where
+    S: Send,
+    F: Fn(usize, &mut S) -> UnitOutcome + Sync,
+{
+    let n = states.len();
+    if workers <= 1 || n <= 1 {
+        return run_serial(states, step);
+    }
+    let workers = workers.min(n);
+
+    let slots: Vec<Mutex<S>> = states.into_iter().map(Mutex::new).collect();
+    let deques: Vec<Deque> = (0..workers).map(|_| Deque::new(n)).collect();
+    for i in 0..n {
+        deques[i % workers].push(i as u64);
+    }
+    let remaining = AtomicUsize::new(n);
+    let peak = AtomicU64::new(deques.iter().map(Deque::depth).max().unwrap_or(0));
+
+    let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let deques = &deques;
+                let slots = &slots;
+                let remaining = &remaining;
+                let peak = &peak;
+                let step = &step;
+                scope.spawn(move || {
+                    let before = Snapshot::take();
+                    let mut executed = 0u64;
+                    let mut stolen = 0u64;
+                    let mut busy = 0u64;
+                    while remaining.load(SeqCst) > 0 {
+                        // Own work first; otherwise sweep the other deques
+                        // starting just past ours.
+                        let mut from_theft = false;
+                        let mut job = deques[me].pop();
+                        if job.is_none() {
+                            for k in 1..workers {
+                                job = deques[(me + k) % workers].steal();
+                                if job.is_some() {
+                                    from_theft = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let Some(idx) = job else {
+                            std::thread::yield_now();
+                            continue;
+                        };
+                        let idx = idx as usize;
+                        let outcome = {
+                            let mut state = slots[idx]
+                                .lock()
+                                // tmprof-lint: allow(panic-reachability) — a poisoned slot means another worker already panicked mid-step; propagating is the only sane response
+                                .expect("sched chain slot poisoned");
+                            step(idx, &mut state)
+                        };
+                        executed += 1;
+                        busy += outcome.cost;
+                        if from_theft {
+                            stolen += 1;
+                        }
+                        if outcome.more {
+                            deques[me].push(idx as u64);
+                            peak.fetch_max(deques[me].depth(), SeqCst);
+                        } else {
+                            remaining.fetch_sub(1, SeqCst);
+                        }
+                    }
+                    WorkerOut {
+                        executed,
+                        stolen,
+                        busy,
+                        delta: Snapshot::take().delta_since(&before),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // tmprof-lint: allow(panic-reachability) — a worker panic is a bug in a chain step; re-raising it on the coordinator is the only sane response
+            .map(|h| h.join().expect("sched worker panicked"))
+            .collect()
+    });
+
+    let mut stats = SchedStats {
+        units_executed: 0,
+        units_stolen: 0,
+        queue_depth_peak: peak.load(SeqCst),
+        workers,
+        worker_busy: Vec::with_capacity(workers),
+    };
+    // Deterministic fold-back: worker-index order, counters only.
+    for out in &outs {
+        stats.units_executed += out.executed;
+        stats.units_stolen += out.stolen;
+        stats.worker_busy.push(out.busy);
+        metrics::fold_delta(&out.delta);
+    }
+    record_sched_metrics(&stats);
+
+    let states = slots
+        .into_iter()
+        // tmprof-lint: allow(panic-reachability) — every worker has joined; a poisoned slot means a panic that expect above already re-raised
+        .map(|m| m.into_inner().expect("sched chain slot poisoned"))
+        .collect();
+    (states, stats)
+}
+
+/// The serial reference schedule: index order, run to completion.
+fn run_serial<S, F>(states: Vec<S>, step: F) -> (Vec<S>, SchedStats)
+where
+    F: Fn(usize, &mut S) -> UnitOutcome,
+{
+    let mut states = states;
+    let mut stats = SchedStats {
+        units_executed: 0,
+        units_stolen: 0,
+        queue_depth_peak: states.len() as u64,
+        workers: 1,
+        worker_busy: vec![0],
+    };
+    for (i, state) in states.iter_mut().enumerate() {
+        loop {
+            let outcome = step(i, state);
+            stats.units_executed += 1;
+            stats.worker_busy[0] += outcome.cost;
+            if !outcome.more {
+                break;
+            }
+        }
+    }
+    record_sched_metrics(&stats);
+    (states, stats)
+}
+
+fn record_sched_metrics(stats: &SchedStats) {
+    metrics::add(Metric::SchedUnitsExecuted, stats.units_executed);
+    metrics::add(Metric::SchedUnitsStolen, stats.units_stolen);
+    metrics::set(Metric::SchedQueueDepthPeak, stats.queue_depth_peak);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A chain that appends `(chain, step)` to its own log for a fixed
+    /// number of steps — enough to detect any reordering or lost step.
+    struct Chain {
+        steps_left: u32,
+        log: Vec<u32>,
+    }
+
+    fn chains(n: usize) -> Vec<Chain> {
+        (0..n)
+            .map(|i| Chain {
+                steps_left: 3 + (i as u32 % 5),
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn run(n: usize, workers: usize) -> (Vec<Chain>, SchedStats) {
+        run_chains(
+            chains(n),
+            |_, c| {
+                c.log.push(c.steps_left);
+                c.steps_left -= 1;
+                c.steps_left > 0
+            },
+            workers,
+        )
+    }
+
+    #[test]
+    fn serial_runs_chains_in_order_to_completion() {
+        let (states, stats) = run(7, 1);
+        for (i, c) in states.iter().enumerate() {
+            let want: Vec<u32> = (1..=3 + (i as u32 % 5)).rev().collect();
+            assert_eq!(c.log, want, "chain {i}");
+        }
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.units_stolen, 0);
+        let total: u64 = (0..7u64).map(|i| 3 + (i % 5)).sum();
+        assert_eq!(stats.units_executed, total);
+    }
+
+    #[test]
+    fn parallel_preserves_per_chain_step_order() {
+        for workers in [2, 3, 4, 8] {
+            let (serial, s_stats) = run(23, 1);
+            let (parallel, p_stats) = run(23, workers);
+            for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(s.log, p.log, "chain {i} diverged at {workers} workers");
+            }
+            assert_eq!(p_stats.units_executed, s_stats.units_executed);
+            assert!(p_stats.workers <= workers);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_chains_is_clamped() {
+        let (states, stats) = run(2, 16);
+        assert_eq!(stats.workers, 2);
+        assert_eq!(states.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_single_chain_fall_back_to_serial() {
+        let (states, stats) = run(0, 4);
+        assert!(states.is_empty());
+        assert_eq!(stats.workers, 1);
+        let (states, stats) = run(1, 4);
+        assert_eq!(states.len(), 1);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn worker_metric_deltas_fold_back_to_the_coordinator() {
+        use tmprof_obs::metrics::{get, Metric};
+        let before = get(Metric::SimBatchOps);
+        let (_, stats) = run_chains(
+            vec![0u64; 6],
+            |_, c| {
+                // A counter bump from whatever thread runs the step.
+                tmprof_obs::metrics::add(Metric::SimBatchOps, 10);
+                *c += 1;
+                *c < 4
+            },
+            4,
+        );
+        assert_eq!(stats.units_executed, 24);
+        assert_eq!(
+            get(Metric::SimBatchOps) - before,
+            240,
+            "all worker-side counter increments folded back"
+        );
+        assert_eq!(get(Metric::SchedUnitsExecuted), stats.units_executed);
+    }
+
+    #[test]
+    fn weighted_costs_split_across_workers_but_total_is_invariant() {
+        // Three steps per chain, cost scaling with the chain index: the
+        // busy split depends on the schedule, the total never does.
+        let step = |i: usize, c: &mut u32| {
+            *c += 1;
+            UnitOutcome {
+                more: *c < 3,
+                cost: (i as u64 + 1) * 10,
+            }
+        };
+        let (_, serial) = run_chains_weighted(vec![0u32; 6], step, 1);
+        let (_, par) = run_chains_weighted(vec![0u32; 6], step, 3);
+        assert_eq!(serial.worker_busy.len(), 1);
+        assert_eq!(par.worker_busy.len(), 3);
+        let total: u64 = (1..=6u64).map(|k| 3 * k * 10).sum();
+        assert_eq!(serial.total_cost(), total);
+        assert_eq!(par.total_cost(), total, "costs are schedule-invariant");
+        assert_eq!(serial.makespan(), total, "serial critical path = total");
+        assert!(par.makespan() <= serial.makespan());
+        assert!(par.parallel_speedup() >= 1.0);
+        assert!((serial.parallel_speedup() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn deque_push_pop_steal_basics() {
+        let d = Deque::new(8);
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.steal(), None);
+        d.push(1);
+        d.push(2);
+        d.push(3);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(d.pop(), Some(3), "owner takes the newest");
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn work_actually_gets_stolen_under_imbalance() {
+        // One giant chain and many trivial ones: with the giant chain
+        // re-pushed into worker 0's deque every step, the other workers
+        // finish their trivial chains and must steal to stay busy. The
+        // schedule is nondeterministic, so assert only on the invariant
+        // outputs, not the stolen count.
+        let mut states = vec![0u64; 8];
+        states[0] = 1; // marker: chain 0 is the long one
+        let (states, stats) = run_chains(
+            states,
+            |i, c| {
+                *c += 1;
+                if i == 0 {
+                    *c < 5000
+                } else {
+                    false
+                }
+            },
+            4,
+        );
+        assert_eq!(states[0], 5000);
+        assert!(states[1..].iter().all(|&c| c == 1));
+        // Chain 0 starts at the marker value 1, so it takes 4999 steps.
+        assert_eq!(stats.units_executed, 4999 + 7);
+    }
+}

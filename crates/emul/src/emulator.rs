@@ -343,11 +343,13 @@ mod tests {
                 frames: 8,
                 load_latency: 320,
                 store_latency: 320,
+                epoch_bytes_budget: None,
             },
             TierSpec {
                 frames: 64,
                 load_latency: 320,
                 store_latency: 320,
+                epoch_bytes_budget: None,
             },
         );
         let mut m = Machine::new(cfg);
@@ -445,6 +447,7 @@ mod tests {
             frames,
             load_latency: 320,
             store_latency: 320,
+            epoch_bytes_budget: None,
         };
         let mut cfg = MachineConfig::scaled(1, 4, 12, 1 << 20);
         cfg.memory = MemTopology::from_specs(vec![dram_speed(4), dram_speed(4), dram_speed(8)]);
@@ -486,6 +489,7 @@ mod tests {
             frames,
             load_latency: 320,
             store_latency: 320,
+            epoch_bytes_budget: None,
         };
         let mut cfg = MachineConfig::scaled(1, 2, 6, 1 << 20);
         cfg.memory = MemTopology::from_specs(vec![dram_speed(2), dram_speed(2), dram_speed(4)]);

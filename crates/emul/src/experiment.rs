@@ -62,6 +62,7 @@ pub fn emulation_machine(cores: usize, t1_frames: u64, t2_frames: u64, period: u
         frames,
         load_latency: 320,
         store_latency: 320,
+        epoch_bytes_budget: None,
     };
     Machine::new(MachineConfig {
         cores,

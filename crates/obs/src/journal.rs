@@ -41,6 +41,10 @@ pub enum EventKind {
     /// A nomination was skipped because demotion could not free a frame —
     /// every slower tier was full (`a` = packed page key).
     DemoteFailed,
+    /// Per-tenant admission control rejected migrations this epoch
+    /// (`a` = pid, `b` = pages rejected). Recorded by the fleet
+    /// coordinator in deterministic shard order, never on a worker thread.
+    AdmitRejected,
 }
 
 impl EventKind {
@@ -55,6 +59,7 @@ impl EventKind {
             EventKind::TlbShootdown => "tlb_shootdown",
             EventKind::HugeFallback => "huge_fallback",
             EventKind::DemoteFailed => "demote_failed",
+            EventKind::AdmitRejected => "admit_rejected",
         }
     }
 }
@@ -346,6 +351,8 @@ mod tests {
             EventKind::MigrationBatch,
             EventKind::TlbShootdown,
             EventKind::HugeFallback,
+            EventKind::DemoteFailed,
+            EventKind::AdmitRejected,
         ];
         let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
         labels.sort_unstable();

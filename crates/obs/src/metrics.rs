@@ -60,6 +60,8 @@ metrics! {
         "pages physically moved between tiers";
     SimEpochs => "sim.epochs",
         "machine epoch horizons crossed";
+    SimBandwidthSurcharged => "sim.bandwidth_surcharged",
+        "memory accesses surcharged by a saturated tier's per-epoch bandwidth budget";
     SimHierSubtreesSkipped => "sim.hier_subtrees_skipped",
         "page-table subtrees pruned by the hierarchical A/D scan";
     SimHierSubtreesDescended => "sim.hier_subtrees_descended",
@@ -109,12 +111,49 @@ metrics! {
         "cycles charged for migration copies and batched shootdowns";
     PolicyDemotionsFailed => "policy.demotions_failed",
         "nominations skipped because no frame could be freed down the waterfall";
+    // -- fleet scheduler + admission control -----------------------------
+    SchedAdmitRejected => "sched.admit_rejected",
+        "migrations blocked by per-tenant admission-control token buckets";
+    SchedUnitsExecuted => "sched.units_executed",
+        "work units (chain steps) executed by the fleet scheduler";
+    SchedUnitsStolen => "sched.units_stolen",
+        "work units a fleet worker stole from another worker's deque";
+    SchedQueueDepthPeak => "sched.queue_depth_peak",
+        "deepest per-worker deque observed during a fleet run (gauge)";
+}
+
+impl Metric {
+    /// Whether this metric is a point-in-time gauge (written with [`set`])
+    /// rather than a monotonically accumulating counter. Gauges do not
+    /// commute across threads, so [`fold_delta`] skips them when a fleet
+    /// worker's cells are folded back into the coordinator's.
+    pub fn is_gauge(self) -> bool {
+        matches!(
+            self,
+            Metric::SimDescChunksResident | Metric::DaemonTrackedPids | Metric::SchedQueueDepthPeak
+        )
+    }
 }
 
 #[cfg(not(feature = "obs-off"))]
 thread_local! {
     static CELLS: [std::cell::Cell<u64>; Metric::COUNT] =
         const { [const { std::cell::Cell::new(0) }; Metric::COUNT] };
+}
+
+/// Fold a worker thread's bracketed counter deltas into the calling
+/// thread's cells. Counters commute — the sum over workers equals what a
+/// serial run would have recorded on one thread — so the fleet scheduler
+/// brackets each worker with [`Snapshot::take`]/[`Snapshot::delta_since`]
+/// and the coordinator applies the deltas here in deterministic (worker
+/// index) order. Gauges are skipped: a worker's point-in-time value has no
+/// meaningful sum.
+pub fn fold_delta(delta: &Snapshot) {
+    for (m, v) in delta.iter() {
+        if v != 0 && !m.is_gauge() {
+            add(m, v);
+        }
+    }
 }
 
 /// Add `n` to a counter on the calling thread.
@@ -306,6 +345,26 @@ mod tests {
         assert_eq!(delta.get(Metric::SimBatchOps), 7);
         assert_eq!(delta.get(Metric::SimEpochs), 1);
         assert_eq!(delta.iter_nonzero().count(), 2);
+        reset();
+    }
+
+    #[cfg(not(feature = "obs-off"))]
+    #[test]
+    fn fold_delta_adds_counters_and_skips_gauges() {
+        reset();
+        set(Metric::DaemonTrackedPids, 9);
+        add(Metric::SchedUnitsExecuted, 3);
+        // A "worker" delta carrying both a counter and a gauge value.
+        let mut delta = Snapshot::default();
+        delta.values[Metric::SchedUnitsExecuted as usize] = 5;
+        delta.values[Metric::SchedUnitsStolen as usize] = 2;
+        delta.values[Metric::DaemonTrackedPids as usize] = 7;
+        fold_delta(&delta);
+        assert_eq!(get(Metric::SchedUnitsExecuted), 8, "counters sum");
+        assert_eq!(get(Metric::SchedUnitsStolen), 2);
+        assert_eq!(get(Metric::DaemonTrackedPids), 9, "gauge untouched");
+        assert!(Metric::SchedQueueDepthPeak.is_gauge());
+        assert!(!Metric::SchedUnitsStolen.is_gauge());
         reset();
     }
 

@@ -1,0 +1,592 @@
+//! The multi-tenant fleet pipeline: sharded epochs over work-stealing
+//! workers.
+//!
+//! A production node runs the TMP daemon for every tenant at once; this
+//! module models that fleet as independent *shards* — one tenant each,
+//! with its own [`Machine`], [`Tmp`] profiler, [`HistoryPolicy`],
+//! [`PageMover`], and per-tenant [`AdmissionControl`] — and drives all of
+//! their epoch pipelines through [`tmprof_core::sched::run_chains`]. Each
+//! fleet epoch, every shard contributes a chain of work units:
+//!
+//! 1. **Exec** — run the tenant's quantum of ops (idle tenants contribute
+//!    an empty quantum) and open the epoch close (trace poll + process
+//!    filter).
+//! 2. **Scan** — one unit per tracked pid, or several when
+//!    [`FleetConfig::scan_unit_pte_budget`] carves a pid's A-bit walk
+//!    into budgeted resumable pieces (the scan cursor keeps same-pid
+//!    units in order).
+//! 3. **Finish** — close the epoch, hand the profile to the policy, and
+//!    apply the migration batch under admission control.
+//!
+//! Shards share no mutable state, so the scheduler's per-chain
+//! program-order guarantee makes any worker count *decision-identical* to
+//! the serial reference: same migrations, same rankings, same gate flips
+//! (the `fleet_identity` proptest pins this). The serial path
+//! (`workers == 1`) runs the very same units inline and is the
+//! authoritative reference schedule.
+//!
+//! Observability follows the scheduler's contract: worker-side counters
+//! fold back into the coordinator, and admission rejections — which must
+//! be journaled, but never from a worker thread — are buffered per shard
+//! and recorded here after each fleet epoch, in shard order.
+
+use tmprof_core::profiler::{Tmp, TmpConfig};
+use tmprof_core::rank::RankSource;
+use tmprof_core::sched::{self, SchedStats, UnitOutcome};
+use tmprof_obs::journal::{self, EventKind};
+use tmprof_sim::machine::{Machine, MachineConfig};
+use tmprof_sim::runner::{OpStream, Runner};
+use tmprof_sim::tier::Tier;
+use tmprof_sim::tlb::Pid;
+
+use crate::admission::{AdmissionConfig, AdmissionControl};
+use crate::mover::{MoveReport, PageMover, PidMoveStats};
+use crate::policies::{HistoryPolicy, PlacementPolicy};
+
+/// Fleet-wide configuration. Every shard gets an identically shaped
+/// machine; tenants differ only in their op streams and activity plans.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Fast-tier frames per shard machine.
+    pub tier1_frames: u64,
+    /// Slow-tier frames per shard machine.
+    pub tier2_frames: u64,
+    /// Base IBS period for each shard's profiler.
+    pub ibs_period: u64,
+    /// Fleet epochs to run.
+    pub epochs: u32,
+    /// Worker threads; `0` resolves `TMPROF_FLEET_WORKERS` at run time,
+    /// `1` is the serial reference schedule.
+    pub workers: usize,
+    /// Carve each pid's A-bit scan into stealable units of at most this
+    /// many PTEs; `None` keeps one unit per pid.
+    pub scan_unit_pte_budget: Option<u64>,
+    /// Per-tenant migration quotas (default unlimited).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            tier1_frames: 64,
+            tier2_frames: 1024,
+            ibs_period: 64,
+            epochs: 4,
+            workers: 0,
+            scan_unit_pte_budget: None,
+            // The registered TMPROF_ADMIT_* knobs; unset means unlimited,
+            // which never consults a bucket.
+            admission: AdmissionConfig::from_env(),
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Pin the worker count (benches and identity tests bypass the knob).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enable per-tenant admission quotas.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// One tenant's contribution to the fleet: its op stream plus a per-epoch
+/// activity plan. `ops[e]` is the quantum for fleet epoch `e`; epochs past
+/// the end of the plan are idle (an exited tenant simply stops running —
+/// its pages stay mapped, exactly like a process that went quiescent).
+pub struct FleetTenant {
+    /// The tenant's access-pattern generator.
+    pub stream: Box<dyn OpStream + Send>,
+    /// Ops to execute per fleet epoch; missing entries mean idle.
+    pub ops: Vec<u64>,
+}
+
+impl FleetTenant {
+    /// A tenant running `ops` every epoch for the whole run.
+    pub fn steady(stream: Box<dyn OpStream + Send>, ops: u64, epochs: u32) -> Self {
+        Self {
+            stream,
+            ops: vec![ops; epochs as usize],
+        }
+    }
+}
+
+/// One shard's per-epoch decision record — the identity surface the
+/// fleet proptest compares across worker counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardEpoch {
+    /// Machine epoch that closed.
+    pub epoch: u32,
+    /// Pages the policy nominated.
+    pub nominated: usize,
+    /// The hottest ranked page keys (up to 8), hottest first — a compact
+    /// witness that the *ranking* matched, not just the move counts.
+    pub hottest: Vec<u64>,
+    /// Whether the trace driver stays on next epoch.
+    pub gate_trace: bool,
+    /// Whether the A-bit driver stays on next epoch.
+    pub gate_abit: bool,
+    /// What the mover did.
+    pub moves: MoveReport,
+    /// Admission rejections drained this epoch, `(pid, pages)` by pid.
+    pub admit_rejected: Vec<(Pid, u64)>,
+}
+
+/// How many ranked keys each [`ShardEpoch::hottest`] witness keeps.
+const HOTTEST_WITNESS: usize = 8;
+
+/// One tenant's isolated pipeline state; a `run_chains` chain.
+struct Shard {
+    pid: Pid,
+    machine: Machine,
+    tmp: Tmp,
+    policy: HistoryPolicy,
+    mover: PageMover,
+    admission: AdmissionControl,
+    stream: Box<dyn OpStream + Send>,
+    ops: Vec<u64>,
+    capacity: usize,
+    scan_budget: Option<u64>,
+    phase: Phase,
+    epoch_idx: u32,
+    epochs: Vec<ShardEpoch>,
+}
+
+/// Where a shard is inside the current fleet epoch.
+enum Phase {
+    /// Next unit runs the quantum and opens the epoch close.
+    Exec,
+    /// Next unit scans `pids[next]` (possibly resuming mid-table).
+    Scan { pids: Vec<Pid>, next: usize },
+}
+
+impl Shard {
+    /// Advance one work unit. The outcome's cost is the unit's *simulated*
+    /// cycle charge — the shard machine's clock delta across the unit —
+    /// which is schedule-invariant by the determinism contract, so the
+    /// scheduler's per-worker busy totals and makespan are measured in the
+    /// simulator's own currency rather than host wall-clock.
+    fn step(&mut self) -> UnitOutcome {
+        let clock_before = self.machine.clock();
+        let more = match &mut self.phase {
+            Phase::Exec => {
+                let ops = self.ops.get(self.epoch_idx as usize).copied().unwrap_or(0);
+                if ops > 0 {
+                    Runner::new(vec![(self.pid, &mut *self.stream)]).run(&mut self.machine, ops);
+                }
+                let pids = self.tmp.begin_epoch_close(&mut self.machine);
+                self.phase = Phase::Scan { pids, next: 0 };
+                true
+            }
+            Phase::Scan { pids, next } if *next < pids.len() => {
+                let pid = pids[*next];
+                match self.scan_budget {
+                    Some(budget) => {
+                        if !self.tmp.scan_epoch_pid_unit(&mut self.machine, pid, budget) {
+                            *next += 1;
+                        }
+                    }
+                    None => {
+                        self.tmp.scan_epoch_pid(&mut self.machine, pid);
+                        *next += 1;
+                    }
+                }
+                true
+            }
+            Phase::Scan { .. } => {
+                self.finish_epoch();
+                self.phase = Phase::Exec;
+                false
+            }
+        };
+        UnitOutcome {
+            more,
+            cost: self.machine.clock() - clock_before,
+        }
+    }
+
+    /// The Finish unit: close the epoch, decide, move, refill quotas.
+    fn finish_epoch(&mut self) {
+        let report = self.tmp.finish_epoch_close(&mut self.machine);
+        let placement = self.policy.select(&report.profile, self.capacity);
+        let moves = self.mover.apply_with_admission(
+            &mut self.machine,
+            &placement,
+            Some(&mut self.admission),
+        );
+        self.admission.refill_epoch();
+        let hottest = report
+            .profile
+            .top_k(RankSource::Combined, HOTTEST_WITNESS)
+            .iter()
+            .map(|r| r.key.pack())
+            .collect();
+        self.epochs.push(ShardEpoch {
+            epoch: report.epoch,
+            nominated: placement.tier1_pages.len(),
+            hottest,
+            gate_trace: report.gate.trace_active,
+            gate_abit: report.gate.abit_active,
+            moves,
+            admit_rejected: self.admission.take_rejections(),
+        });
+        self.epoch_idx += 1;
+    }
+}
+
+/// What a fleet run hands back.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Per-shard decision records, one inner vec per fleet epoch — the
+    /// surface the decision-identity proptest compares.
+    pub shards: Vec<Vec<ShardEpoch>>,
+    /// Per-tenant mover attribution, summed over the whole run.
+    pub per_pid_moves: Vec<(usize, Vec<(Pid, PidMoveStats)>)>,
+    /// Scheduler stats, one per fleet epoch.
+    pub sched: Vec<SchedStats>,
+}
+
+impl FleetReport {
+    /// Total pages migrated (promotions + demotions) across the fleet.
+    pub fn pages_moved(&self) -> u64 {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|e| e.moves.promoted + e.moves.demoted)
+            .sum()
+    }
+
+    /// Total migrations rejected by admission control.
+    pub fn pages_rejected(&self) -> u64 {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|e| e.moves.admit_rejected)
+            .sum()
+    }
+
+    /// Total scheduler work units executed (scan + exec + finish).
+    pub fn units_executed(&self) -> u64 {
+        self.sched.iter().map(|s| s.units_executed).sum()
+    }
+
+    /// Total units that moved between workers by theft.
+    pub fn units_stolen(&self) -> u64 {
+        self.sched.iter().map(|s| s.units_stolen).sum()
+    }
+
+    /// Total simulated cycles of all executed units, summed over the run.
+    /// Schedule-invariant: identical at every worker count.
+    pub fn total_cost(&self) -> u64 {
+        self.sched.iter().map(|s| s.total_cost()).sum()
+    }
+
+    /// The run's schedule critical path in simulated cycles: fleet epochs
+    /// are barriers, so the whole-run makespan is the sum of each epoch's
+    /// busiest-worker total.
+    pub fn makespan(&self) -> u64 {
+        self.sched.iter().map(|s| s.makespan()).sum()
+    }
+
+    /// `total_cost / makespan`: the schedule's speedup over the serial
+    /// reference in simulated-cycle terms (1.0 for the serial schedule).
+    pub fn schedule_speedup(&self) -> f64 {
+        let makespan = self.makespan();
+        if makespan == 0 {
+            1.0
+        } else {
+            self.total_cost() as f64 / makespan as f64
+        }
+    }
+
+    /// The decision surface, flattened for cheap equality checks: every
+    /// shard's every epoch record, in shard order.
+    pub fn decisions(&self) -> &[Vec<ShardEpoch>] {
+        &self.shards
+    }
+}
+
+/// Drives a whole fleet of tenant shards epoch by epoch.
+pub struct FleetRunner {
+    cfg: FleetConfig,
+    shards: Vec<Shard>,
+    sched: Vec<SchedStats>,
+}
+
+impl FleetRunner {
+    /// Build one shard per tenant. Every shard machine is identically
+    /// shaped; tenant `i` runs as pid 1 on its own machine (shard = home
+    /// node, so pids never collide across shards and per-tenant admission
+    /// keys stay local).
+    pub fn new(cfg: FleetConfig, tenants: Vec<FleetTenant>) -> Self {
+        let shards = tenants
+            .into_iter()
+            .map(|t| {
+                let mut machine = Machine::new(MachineConfig::scaled(
+                    1,
+                    cfg.tier1_frames,
+                    cfg.tier2_frames,
+                    cfg.ibs_period,
+                ));
+                let pid: Pid = 1;
+                machine.add_process(pid);
+                let tmp = Tmp::new(TmpConfig::paper_defaults(cfg.ibs_period), &mut machine);
+                let capacity = machine.memory().spec(Tier::Tier1).frames as usize;
+                Shard {
+                    pid,
+                    machine,
+                    tmp,
+                    policy: HistoryPolicy::new(RankSource::Combined),
+                    mover: PageMover::default(),
+                    admission: AdmissionControl::new(cfg.admission),
+                    stream: t.stream,
+                    ops: t.ops,
+                    capacity,
+                    scan_budget: cfg.scan_unit_pte_budget,
+                    phase: Phase::Exec,
+                    epoch_idx: 0,
+                    epochs: Vec::new(),
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            shards,
+            sched: Vec::new(),
+        }
+    }
+
+    /// Worker count in force: the config's, or the knob's when unset.
+    pub fn workers(&self) -> usize {
+        if self.cfg.workers == 0 {
+            sched::workers_from_env()
+        } else {
+            self.cfg.workers
+        }
+    }
+
+    /// Run one fleet epoch: every shard's chain over the worker pool,
+    /// then journal the buffered admission rejections in shard order.
+    pub fn run_epoch(&mut self) {
+        let workers = self.workers();
+        let shards = std::mem::take(&mut self.shards);
+        let (shards, stats) =
+            sched::run_chains_weighted(shards, |_, s: &mut Shard| s.step(), workers);
+        self.shards = shards;
+        self.sched.push(stats);
+
+        // Deferred journaling: the rejection *events* are recorded here on
+        // the coordinator thread, in shard order, stamped with each
+        // shard's own deterministic clock — never from a worker.
+        for shard in &self.shards {
+            if let Some(ep) = shard.epochs.last() {
+                for &(pid, pages) in &ep.admit_rejected {
+                    journal::record(
+                        EventKind::AdmitRejected,
+                        shard.machine.clock(),
+                        ep.epoch,
+                        pid as u64,
+                        pages,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Run the configured number of fleet epochs and report.
+    pub fn run(mut self) -> FleetReport {
+        for _ in 0..self.cfg.epochs {
+            self.run_epoch();
+        }
+        self.into_report()
+    }
+
+    /// Finish early (or after `run_epoch` loops) and hand out the report.
+    pub fn into_report(self) -> FleetReport {
+        FleetReport {
+            per_pid_moves: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.mover.pid_totals()))
+                .collect(),
+            shards: self.shards.into_iter().map(|s| s.epochs).collect(),
+            sched: self.sched,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmprof_sim::prelude::*;
+
+    /// A skewed stream: a hot set the shard's tier 1 can hold, behind a
+    /// cold prefix that grabs tier 1 first (so migrations must happen).
+    struct SkewStream {
+        rng: Rng,
+        hot_pages: u64,
+        cold_pages: u64,
+        i: u64,
+    }
+
+    impl SkewStream {
+        fn new(seed: u64, hot: u64, cold: u64) -> Self {
+            Self {
+                rng: Rng::new(seed),
+                hot_pages: hot,
+                cold_pages: cold,
+                i: 0,
+            }
+        }
+    }
+
+    impl OpStream for SkewStream {
+        fn next_op(&mut self) -> WorkOp {
+            self.i += 1;
+            let page = if self.i <= self.cold_pages {
+                self.i - 1
+            } else {
+                self.cold_pages + self.rng.below(self.hot_pages)
+            };
+            let line = (self.i * 64) % PAGE_SIZE;
+            WorkOp::Mem {
+                va: VirtAddr(page * PAGE_SIZE + line),
+                store: false,
+                site: 0,
+            }
+        }
+    }
+
+    fn tenants(n: usize, epochs: u32) -> Vec<FleetTenant> {
+        (0..n)
+            .map(|i| {
+                FleetTenant::steady(
+                    Box::new(SkewStream::new(0xF1EE7 + i as u64, 24, 64)),
+                    20_000,
+                    epochs,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_runs_and_migrates_for_every_tenant() {
+        let cfg = FleetConfig::default().with_workers(1);
+        let report = FleetRunner::new(cfg, tenants(3, 4)).run();
+        assert_eq!(report.shards.len(), 3);
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.len(), 4, "shard {i} closed every epoch");
+            let promoted: u64 = shard.iter().map(|e| e.moves.promoted).sum();
+            assert!(promoted > 0, "shard {i} never promoted its hot set");
+        }
+        assert!(report.units_executed() > 0);
+        assert_eq!(report.units_stolen(), 0, "serial schedule never steals");
+    }
+
+    #[test]
+    fn parallel_fleet_is_decision_identical_to_serial() {
+        let serial = FleetRunner::new(FleetConfig::default().with_workers(1), tenants(6, 3)).run();
+        for workers in [2, 4] {
+            let par =
+                FleetRunner::new(FleetConfig::default().with_workers(workers), tenants(6, 3)).run();
+            assert_eq!(
+                serial.decisions(),
+                par.decisions(),
+                "decisions diverged at {workers} workers"
+            );
+            assert_eq!(serial.units_executed(), par.units_executed());
+            assert_eq!(
+                serial.total_cost(),
+                par.total_cost(),
+                "unit cycle costs are schedule-invariant"
+            );
+            assert!(
+                par.makespan() <= serial.makespan(),
+                "a parallel schedule's critical path never exceeds serial"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_unit_budget_changes_the_schedule_not_the_decisions() {
+        let whole = FleetRunner::new(FleetConfig::default().with_workers(1), tenants(2, 3)).run();
+        let mut cfg = FleetConfig::default().with_workers(1);
+        cfg.scan_unit_pte_budget = Some(16);
+        let carved = FleetRunner::new(cfg, tenants(2, 3)).run();
+        assert_eq!(whole.decisions(), carved.decisions());
+        assert!(
+            carved.units_executed() > whole.units_executed(),
+            "budgeted scans split into more units"
+        );
+    }
+
+    #[test]
+    fn idle_epochs_close_but_do_no_work() {
+        // A tenant whose plan ends after epoch 0 still gets its remaining
+        // epochs closed (profilers keep running over a quiescent address
+        // space) without executing ops.
+        let tenant = FleetTenant {
+            stream: Box::new(SkewStream::new(7, 16, 16)),
+            ops: vec![10_000],
+        };
+        let mut cfg = FleetConfig::default().with_workers(1);
+        cfg.epochs = 3;
+        let report = FleetRunner::new(cfg, vec![tenant]).run();
+        assert_eq!(report.shards[0].len(), 3);
+        let late_moves: u64 = report.shards[0][2].moves.promoted;
+        assert_eq!(late_moves, 0, "an idle epoch nominates nothing new");
+    }
+
+    #[test]
+    fn admission_quotas_reject_and_journal_in_shard_order() {
+        let cfg = FleetConfig::default()
+            .with_workers(4)
+            .with_admission(AdmissionConfig {
+                promo_quota: Some(2),
+                demo_quota: None,
+                burst: 1,
+            });
+        let report = FleetRunner::new(cfg, tenants(4, 3)).run();
+        assert!(report.pages_rejected() > 0, "tight quota must reject");
+        // Per-epoch promoted never exceeds the quota (cap = quota here).
+        for shard in &report.shards {
+            for ep in shard {
+                assert!(ep.moves.promoted <= 2, "quota enforced");
+            }
+        }
+        // Rejections surfaced as data on the right shard and pid.
+        let rejected_shards = report
+            .shards
+            .iter()
+            .filter(|s| s.iter().any(|e| !e.admit_rejected.is_empty()))
+            .count();
+        assert!(rejected_shards > 0);
+        for shard in &report.shards {
+            for ep in shard {
+                for &(pid, pages) in &ep.admit_rejected {
+                    assert_eq!(pid, 1, "each shard's tenant runs as pid 1");
+                    assert!(pages > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_pid_attribution_sums_to_the_move_reports() {
+        let report = FleetRunner::new(FleetConfig::default().with_workers(2), tenants(3, 3)).run();
+        for (shard_idx, totals) in &report.per_pid_moves {
+            let from_epochs: u64 = report.shards[*shard_idx]
+                .iter()
+                .map(|e| e.moves.promoted)
+                .sum();
+            let from_attribution: u64 = totals.iter().map(|(_, s)| s.promoted).sum();
+            assert_eq!(from_epochs, from_attribution, "shard {shard_idx}");
+        }
+    }
+}

@@ -15,14 +15,18 @@
 //!   over the PML dirty-page log (the paper cites but does not evaluate
 //!   this family).
 
+pub mod admission;
 pub mod epoch;
+pub mod fleet;
 pub mod hitrate;
 pub mod mover;
 pub mod policies;
 pub mod write_aware;
 
+pub use admission::{AdmissionConfig, AdmissionControl, TokenBucket};
 pub use epoch::{EpochMetrics, EpochRunner};
+pub use fleet::{FleetConfig, FleetReport, FleetRunner};
 pub use hitrate::{hitrate_grid, replay_hitrate, ReplayLog, ReplayPolicy, PAPER_RATIOS};
-pub use mover::{MoveReport, MoverConfig, PageMover};
+pub use mover::{MoveReport, MoverConfig, PageMover, PidMoveStats};
 pub use policies::{FirstTouchPolicy, HistoryPolicy, Placement, PlacementPolicy};
 pub use write_aware::WriteAwarePolicy;

@@ -24,12 +24,13 @@ use std::collections::BTreeMap;
 use tmprof_obs::journal::EventKind as ObsEvent;
 use tmprof_obs::metrics::Metric as ObsMetric;
 use tmprof_sim::addr::Vpn;
-use tmprof_sim::keymap::KeySet;
+use tmprof_sim::keymap::{KeyMap, KeySet};
 use tmprof_sim::machine::{Machine, MigrateError};
 use tmprof_sim::pagedesc::PageKey;
 use tmprof_sim::tier::Tier;
 use tmprof_sim::tlb::Pid;
 
+use crate::admission::AdmissionControl;
 use crate::policies::Placement;
 
 /// Cost model for migrations, in cycles.
@@ -64,8 +65,27 @@ pub struct MoveReport {
     /// Nominations skipped because demotion could not free a frame: every
     /// tier below held no demotable victim or no free frame.
     pub demote_failed: u64,
+    /// Migrations rejected by per-tenant admission control (promotions
+    /// whose owner's bucket was empty, victims whose owner's demotion
+    /// bucket was empty). Always 0 without an [`AdmissionControl`].
+    pub admit_rejected: u64,
     /// Cycles charged for copies and shootdowns.
     pub cycles: u64,
+}
+
+/// Per-tenant share of a mover's lifetime work, for attributing fleet
+/// thrash to the tenant that caused it. Promotions are attributed to the
+/// nominated page's owner, demotions to the *victim's* owner — the tenant
+/// whose page was displaced, not the one whose promotion forced it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PidMoveStats {
+    /// Pages of this tenant promoted into tier 1.
+    pub promoted: u64,
+    /// Pages of this tenant demoted down the waterfall.
+    pub demoted: u64,
+    /// Migration cycles attributed to this tenant (copies only; batched
+    /// shootdown costs are shared and stay in the global report).
+    pub copy_cycles: u64,
 }
 
 /// Per-tier coldest-first victim queues, snapshotted at the start of a
@@ -117,6 +137,8 @@ enum FreeFail {
 pub struct PageMover {
     cfg: MoverConfig,
     total: MoveReport,
+    /// Lifetime per-tenant attribution (fleet multi-tenant accounting).
+    per_pid: KeyMap<Pid, PidMoveStats>,
 }
 
 impl PageMover {
@@ -125,12 +147,38 @@ impl PageMover {
         Self {
             cfg,
             total: MoveReport::default(),
+            per_pid: KeyMap::default(),
         }
     }
 
     /// Lifetime totals.
     pub fn totals(&self) -> MoveReport {
         self.total
+    }
+
+    /// Lifetime per-tenant attribution: `(pid, stats)` sorted by pid.
+    pub fn pid_totals(&self) -> Vec<(Pid, PidMoveStats)> {
+        let mut out: Vec<(Pid, PidMoveStats)> =
+            self.per_pid.iter().map(|(&p, &s)| (p, s)).collect();
+        out.sort_unstable_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// Lifetime attribution for one tenant.
+    pub fn pid_stats(&self, pid: Pid) -> PidMoveStats {
+        self.per_pid.get(&pid).copied().unwrap_or_default()
+    }
+
+    fn attribute_promotion(&mut self, pid: Pid) {
+        let s = self.per_pid.entry(pid).or_default();
+        s.promoted += 1;
+        s.copy_cycles += self.cfg.per_page_cycles;
+    }
+
+    fn attribute_demotion(&mut self, pid: Pid) {
+        let s = self.per_pid.entry(pid).or_default();
+        s.demoted += 1;
+        s.copy_cycles += self.cfg.per_page_cycles;
     }
 
     /// Apply a placement: make tier 1 hold (as nearly as capacity allows)
@@ -141,6 +189,20 @@ impl PageMover {
     /// promotions — which keeps migration traffic proportional to the
     /// working-set *change*, not its size.
     pub fn apply(&mut self, machine: &mut Machine, placement: &Placement) -> MoveReport {
+        self.apply_with_admission(machine, placement, None)
+    }
+
+    /// [`PageMover::apply`] under per-tenant admission control. `None`
+    /// delegates to the exact unthrottled batch; with a controller, a
+    /// nomination whose owner is out of promotion tokens is skipped (and
+    /// counted in [`MoveReport::admit_rejected`]) and a victim whose owner
+    /// is out of demotion tokens is passed over for the next-coldest.
+    pub fn apply_with_admission(
+        &mut self,
+        machine: &mut Machine,
+        placement: &Placement,
+        mut admission: Option<&mut AdmissionControl>,
+    ) -> MoveReport {
         let mut report = MoveReport::default();
         let nominated: KeySet<u64> = placement.tier1_pages.iter().copied().collect();
 
@@ -174,6 +236,14 @@ impl PageMover {
                 continue;
             }
             let page = PageKey::unpack(key);
+            // Admission: the nominated page's owner pays a promotion token
+            // before any frame-freeing work happens on its behalf.
+            if let Some(adm) = admission.as_deref_mut() {
+                if !adm.admit_promotion(page.pid) {
+                    report.admit_rejected += 1;
+                    continue;
+                }
+            }
             // Ensure a free tier-1 frame: demote the coldest non-nominated
             // resident if the tier is full, cascading down the waterfall.
             if machine.frames().free_in(Tier::Tier1) == 0 {
@@ -183,6 +253,7 @@ impl PageMover {
                     &mut queues,
                     &mut report,
                     &mut shootdowns,
+                    &mut admission,
                 ) {
                     Ok(()) => {}
                     Err(FreeFail::NoVictims) => {
@@ -208,6 +279,7 @@ impl PageMover {
                 Ok(_) => {
                     report.promoted += 1;
                     report.cycles += self.cfg.per_page_cycles;
+                    self.attribute_promotion(page.pid);
                     shootdowns.entry(page.pid).or_default().push(page.vpn);
                 }
                 Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
@@ -241,6 +313,7 @@ impl PageMover {
         self.total.already_placed += report.already_placed;
         self.total.unmapped += report.unmapped;
         self.total.demote_failed += report.demote_failed;
+        self.total.admit_rejected += report.admit_rejected;
         self.total.cycles += report.cycles;
         report
     }
@@ -253,12 +326,13 @@ impl PageMover {
     /// tried — the historical code dropped the attempt on the floor, which
     /// silently lost every remaining nomination of the batch.
     fn free_frame_in(
-        &self,
+        &mut self,
         machine: &mut Machine,
         tier: Tier,
         queues: &mut DemotionQueues,
         report: &mut MoveReport,
         shootdowns: &mut BTreeMap<Pid, Vec<Vpn>>,
+        admission: &mut Option<&mut AdmissionControl>,
     ) -> Result<(), FreeFail> {
         if machine.frames().free_in(tier) > 0 {
             return Ok(());
@@ -275,17 +349,26 @@ impl PageMover {
             // Make room below before taking a victim, so a cascade failure
             // leaves the queue untouched.
             if self
-                .free_frame_in(machine, dest, queues, report, shootdowns)
+                .free_frame_in(machine, dest, queues, report, shootdowns, admission)
                 .is_err()
             {
                 return Err(FreeFail::SlowTiersFull);
             }
             // tmprof-lint: allow(panic-reachability) — non-emptiness checked at the top of the loop and pops happen only here
             let victim = PageKey::unpack(queues.pop_coldest(tier).unwrap());
+            // Admission: the victim's owner pays a demotion token; a tenant
+            // out of tokens keeps this page and the next-coldest is tried.
+            if let Some(adm) = admission.as_deref_mut() {
+                if !adm.admit_demotion(victim.pid) {
+                    report.admit_rejected += 1;
+                    continue;
+                }
+            }
             match machine.migrate_page(victim.pid, victim.vpn, dest) {
                 Ok(_) => {
                     report.demoted += 1;
                     report.cycles += self.cfg.per_page_cycles;
+                    self.attribute_demotion(victim.pid);
                     shootdowns.entry(victim.pid).or_default().push(victim.vpn);
                     return Ok(());
                 }
@@ -359,6 +442,7 @@ impl PageMover {
                         Ok(_) => {
                             report.demoted += 1;
                             report.cycles += self.cfg.per_page_cycles;
+                            self.attribute_demotion(victim.pid);
                             shootdowns.entry(victim.pid).or_default().push(victim.vpn);
                             break;
                         }
@@ -377,6 +461,7 @@ impl PageMover {
                 Ok(_) => {
                     report.promoted += 1;
                     report.cycles += self.cfg.per_page_cycles;
+                    self.attribute_promotion(page.pid);
                     shootdowns.entry(page.pid).or_default().push(page.vpn);
                 }
                 Err(MigrateError::NotMapped) | Err(MigrateError::HugePage) => {
@@ -620,6 +705,120 @@ mod tests {
         // resident landed in tier 3.
         assert_eq!(m.tier_of_page(1, Vpn(0)), Some(Tier::Tier2));
         assert_eq!(m.tier_of_page(1, Vpn(2)), Some(Tier::Tier3));
+    }
+
+    fn key_of(pid: Pid, vpn: u64) -> u64 {
+        PageKey { pid, vpn: Vpn(vpn) }.pack()
+    }
+
+    /// Two tenants: pid 1 owns tier 1, pid 2 sits in tier 2.
+    fn two_tenant_machine() -> Machine {
+        let mut m = machine(2, 16);
+        m.add_process(2);
+        touch_n(&mut m, 2); // pid 1: vpns 0,1 -> tier 1 (now full)
+        for i in 0..2 {
+            m.touch(0, 2, VirtAddr(i * PAGE_SIZE)); // pid 2: tier 2
+        }
+        m
+    }
+
+    #[test]
+    fn per_pid_attribution_splits_multi_tenant_batches() {
+        let mut m = two_tenant_machine();
+        let mut mover = PageMover::default();
+        let report = mover.apply(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key_of(2, 0), key_of(2, 1)],
+            },
+        );
+        assert_eq!(report.promoted, 2);
+        assert_eq!(report.demoted, 2);
+        // Promotions land on pid 2's account, the displaced victims on
+        // pid 1's — the global totals split exactly.
+        assert_eq!(mover.pid_stats(2).promoted, 2);
+        assert_eq!(mover.pid_stats(2).demoted, 0);
+        assert_eq!(mover.pid_stats(1).demoted, 2);
+        assert_eq!(mover.pid_stats(1).promoted, 0);
+        let per_pid: u64 = mover.pid_totals().iter().map(|(_, s)| s.promoted).sum();
+        assert_eq!(per_pid, mover.totals().promoted);
+        assert_eq!(mover.pid_totals().len(), 2, "sorted pid list");
+        assert_eq!(mover.pid_stats(99), PidMoveStats::default());
+    }
+
+    #[test]
+    fn admission_quota_caps_promotions_per_tenant() {
+        let mut m = two_tenant_machine();
+        let mut mover = PageMover::default();
+        let mut adm = crate::admission::AdmissionControl::new(crate::admission::AdmissionConfig {
+            promo_quota: Some(1),
+            demo_quota: None,
+            burst: 1,
+        });
+        let report = mover.apply_with_admission(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key_of(2, 0), key_of(2, 1)],
+            },
+            Some(&mut adm),
+        );
+        assert_eq!(report.promoted, 1, "second promotion over quota");
+        assert_eq!(report.admit_rejected, 1);
+        assert_eq!(adm.take_rejections(), vec![(2, 1)]);
+        assert_eq!(mover.totals().admit_rejected, 1);
+        // The rejected nomination's page stayed where it was.
+        assert_eq!(m.tier_of_page(2, Vpn(1)), Some(Tier::Tier2));
+    }
+
+    #[test]
+    fn demotion_quota_protects_the_victim_tenant() {
+        let mut m = two_tenant_machine();
+        let mut mover = PageMover::default();
+        let mut adm = crate::admission::AdmissionControl::new(crate::admission::AdmissionConfig {
+            promo_quota: None,
+            demo_quota: Some(1),
+            burst: 1,
+        });
+        let report = mover.apply_with_admission(
+            &mut m,
+            &Placement {
+                tier1_pages: vec![key_of(2, 0), key_of(2, 1)],
+            },
+            Some(&mut adm),
+        );
+        // First promotion demotes one pid-1 victim (its only token); the
+        // second finds every remaining victim inadmissible and the batch
+        // runs out of victims.
+        assert_eq!(report.promoted, 1);
+        assert_eq!(report.demoted, 1);
+        assert_eq!(report.admit_rejected, 1);
+        assert_eq!(adm.take_rejections(), vec![(1, 1)]);
+        // Pid 1 keeps its remaining tier-1 page.
+        let pid1_in_t1 = (0..2)
+            .filter(|&v| m.tier_of_page(1, Vpn(v)) == Some(Tier::Tier1))
+            .count();
+        assert_eq!(pid1_in_t1, 1);
+    }
+
+    #[test]
+    fn unlimited_admission_is_identical_to_no_admission() {
+        let mut m1 = two_tenant_machine();
+        let mut m2 = two_tenant_machine();
+        let placement = Placement {
+            tier1_pages: vec![key_of(2, 1), key_of(2, 0)],
+        };
+        let mut mover1 = PageMover::default();
+        let mut mover2 = PageMover::default();
+        let mut adm =
+            crate::admission::AdmissionControl::new(crate::admission::AdmissionConfig::unlimited());
+        let r1 = mover1.apply(&mut m1, &placement);
+        let r2 = mover2.apply_with_admission(&mut m2, &placement, Some(&mut adm));
+        assert_eq!(r1, r2);
+        assert_eq!(adm.total_rejected(), 0);
+        for v in 0..2 {
+            assert_eq!(m1.tier_of_page(1, Vpn(v)), m2.tier_of_page(1, Vpn(v)));
+            assert_eq!(m1.tier_of_page(2, Vpn(v)), m2.tier_of_page(2, Vpn(v)));
+        }
     }
 
     #[test]

@@ -200,20 +200,35 @@ impl ABitScanner {
     /// [`ABitScanner::scan_process_scalar`] (the scan_props suite holds
     /// the two to bit-for-bit equivalence).
     pub fn scan_process(&mut self, machine: &mut Machine, pid: Pid) {
-        self.scan_process_impl(machine, pid, true);
+        self.scan_process_impl(machine, pid, true, None);
     }
 
     /// The per-PTE `test_and_clear_accessed` reference walk the packed
     /// scan is proven against. Same cursor, same stats, same cost model.
     pub fn scan_process_scalar(&mut self, machine: &mut Machine, pid: Pid) {
-        self.scan_process_impl(machine, pid, false);
+        self.scan_process_impl(machine, pid, false, None);
     }
 
-    fn scan_process_impl(&mut self, machine: &mut Machine, pid: Pid, packed: bool) {
+    /// Scan one process with an explicit per-unit PTE budget overriding
+    /// the configured one — the fleet scheduler's stealable scan unit.
+    /// Returns `true` when the walk stopped mid-table with budget spent
+    /// (another unit is needed to keep covering the address space this
+    /// interval); `false` once the walk reached the end and wrapped.
+    pub fn scan_process_unit(&mut self, machine: &mut Machine, pid: Pid, budget: u64) -> bool {
+        self.scan_process_impl(machine, pid, true, Some(budget))
+    }
+
+    fn scan_process_impl(
+        &mut self,
+        machine: &mut Machine,
+        pid: Pid,
+        packed: bool,
+        unit_budget: Option<u64>,
+    ) -> bool {
         if !self.enabled {
-            return;
+            return false;
         }
-        let budget = self.cfg.scan_budget.unwrap_or(u64::MAX);
+        let budget = unit_budget.or(self.cfg.scan_budget).unwrap_or(u64::MAX);
         let start = if self.cfg.restart_each_scan {
             Vpn(0)
         } else {
@@ -228,7 +243,7 @@ impl ABitScanner {
         let mut keys: Vec<u64> = Vec::new();
         let mut vpns: Vec<Vpn> = Vec::new();
         let Some((pt, descs, epoch)) = machine.scan_parts(pid) else {
-            return;
+            return false;
         };
         let heat = &mut self.heat;
         let mut observe = |vpn: Vpn, pte: &mut tmprof_sim::pte::Pte| {
@@ -254,6 +269,7 @@ impl ABitScanner {
         // Wrap the cursor when the walk reaches the end of the table. If
         // the budget was larger than the resident set, the next scan starts
         // from the top anyway.
+        let stopped_mid_table = resume.is_some();
         self.cursors.insert(pid, resume.unwrap_or(Vpn(0)));
 
         let observations = keys.len() as u64;
@@ -279,6 +295,7 @@ impl ABitScanner {
             self.stats.shootdowns += 1;
             self.stats.overhead_cycles += charged;
         }
+        stopped_mid_table
     }
 
     /// Scan a set of processes (the daemon's filtered PID list).
@@ -387,6 +404,22 @@ mod tests {
         sc.scan_process(&mut m, 1);
         sc.scan_process(&mut m, 1);
         assert_eq!(sc.seen_pages().len(), 300);
+    }
+
+    #[test]
+    fn unit_scans_carve_one_budget_into_stealable_pieces() {
+        // Same coverage as one 300-PTE scan, delivered as three 100-PTE
+        // units resuming from the shared cursor; the return value says
+        // whether the table still has unvisited PTEs this interval.
+        let mut m = machine();
+        touch_pages(&mut m, 250);
+        let mut sc = ABitScanner::new(ABitConfig::default());
+        assert!(sc.scan_process_unit(&mut m, 1, 100), "stopped mid-table");
+        assert!(sc.scan_process_unit(&mut m, 1, 100), "stopped mid-table");
+        assert!(!sc.scan_process_unit(&mut m, 1, 100), "reached the end");
+        assert_eq!(sc.seen_pages().len(), 250);
+        assert_eq!(sc.stats().ptes_visited, 250);
+        assert_eq!(sc.stats().scans, 3, "each unit is a scan");
     }
 
     #[test]

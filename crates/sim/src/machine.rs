@@ -334,6 +334,11 @@ pub struct Machine {
     /// drained per epoch by the devsketch profiler.
     device_stream: bool,
     device_log: Vec<Pfn>,
+    /// Bytes each tier served this epoch (line fills + writebacks), indexed
+    /// by tier. Feeds the per-tier bandwidth budget: accesses past a tier's
+    /// `epoch_bytes_budget` pay the saturation surcharge. Reset at every
+    /// epoch horizon.
+    tier_epoch_bytes: Vec<u64>,
 }
 
 impl Machine {
@@ -359,6 +364,7 @@ impl Machine {
         let llc = Cache::new("LLC", cfg.caches.llc_bytes, cfg.caches.llc_ways);
         let frames = FrameAllocator::new(&cfg.memory);
         let descs = PageDescTable::new(cfg.memory.total_frames());
+        let tier_epoch_bytes = vec![0; cfg.memory.num_tiers()];
         Self {
             cfg,
             cores,
@@ -373,6 +379,7 @@ impl Machine {
             first_touch_log: Vec::new(),
             device_stream: false,
             device_log: Vec::new(),
+            tier_epoch_bytes,
         }
     }
 
@@ -406,6 +413,16 @@ impl Machine {
     /// Physical memory layout.
     pub fn memory(&self) -> &TieredMemory {
         &self.cfg.memory
+    }
+
+    /// Bytes `tier` has served so far this epoch (demand line fills plus
+    /// writebacks) — the meter the per-tier `epoch_bytes_budget` compares
+    /// against. Resets at every epoch horizon.
+    pub fn tier_epoch_bytes(&self, tier: Tier) -> u64 {
+        self.tier_epoch_bytes
+            .get(tier.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Current epoch index.
@@ -552,6 +569,11 @@ impl Machine {
     /// ground truth.
     pub fn advance_epoch(&mut self) -> EpochTruth {
         self.invalidate_memos();
+        // The bandwidth window is per epoch: every tier's byte meter
+        // restarts at the horizon.
+        for b in &mut self.tier_epoch_bytes {
+            *b = 0;
+        }
         let clock = self.clock();
         tmprof_obs::metrics::inc(ObsMetric::SimEpochs);
         tmprof_obs::journal::record(ObsEvent::EpochEnd, clock, self.epoch, 0, 0);
@@ -810,11 +832,30 @@ impl Machine {
                 source = CacheLevel::Memory;
                 let t = self.cfg.memory.tier_of(pfn);
                 tier = Some(t);
+                let spec = self.cfg.memory.spec(t);
                 out.cycles += if store {
-                    self.cfg.memory.store_latency(pfn)
+                    spec.store_latency
                 } else {
-                    self.cfg.memory.load_latency(pfn)
+                    spec.load_latency
                 };
+                // Per-tier bandwidth meter: a demand fill moves one line.
+                // Past the tier's per-epoch byte budget, the access queues
+                // behind the epoch's earlier traffic and pays the base
+                // latency a second time (no budget — the default — means
+                // the meter ticks but never charges).
+                let served = self.tier_epoch_bytes[t.index()];
+                if spec
+                    .epoch_bytes_budget
+                    .is_some_and(|budget| served >= budget)
+                {
+                    out.cycles += if store {
+                        spec.store_latency
+                    } else {
+                        spec.load_latency
+                    };
+                    tmprof_obs::metrics::inc(ObsMetric::SimBandwidthSurcharged);
+                }
+                self.tier_epoch_bytes[t.index()] = served + crate::addr::LINE_SIZE;
                 core.counts.llc_misses += 1;
                 // tier2_* counters aggregate every slower-than-fastest tier;
                 // under the default two-tier layout that is exactly tier 2.
@@ -831,7 +872,12 @@ impl Machine {
                 }
                 let fill = self.llc.fill(pa.line(), store);
                 if let Some(victim_line) = fill.writeback {
-                    Self::count_memory_writeback(&self.cfg.memory, &mut core.counts, victim_line);
+                    Self::count_memory_writeback(
+                        &self.cfg.memory,
+                        &mut core.counts,
+                        &mut self.tier_epoch_bytes,
+                        victim_line,
+                    );
                 }
             }
             let victims = core.caches.fill_through(pa, store);
@@ -839,7 +885,12 @@ impl Machine {
             // holds the line; otherwise they write through to memory.
             for victim in [victims.from_l1, victims.from_l2].into_iter().flatten() {
                 if !self.llc.writeback_touch(victim) {
-                    Self::count_memory_writeback(&self.cfg.memory, &mut core.counts, victim);
+                    Self::count_memory_writeback(
+                        &self.cfg.memory,
+                        &mut core.counts,
+                        &mut self.tier_epoch_bytes,
+                        victim,
+                    );
                 }
             }
         }
@@ -868,14 +919,22 @@ impl Machine {
     }
 
     /// Account a dirty line written back to memory (slow-tier writebacks
-    /// are the NVM write-endurance/energy cost).
-    fn count_memory_writeback(memory: &TieredMemory, counts: &mut EventCounts, victim_line: u64) {
+    /// are the NVM write-endurance/energy cost). Writebacks also consume
+    /// the destination tier's bandwidth, so the per-epoch byte meter ticks
+    /// here too — asynchronously drained lines add queueing pressure even
+    /// though no demand access waits on them.
+    fn count_memory_writeback(
+        memory: &TieredMemory,
+        counts: &mut EventCounts,
+        tier_bytes: &mut [u64],
+        victim_line: u64,
+    ) {
         let victim_pfn = PhysAddr(victim_line << crate::addr::LINE_SHIFT).pfn();
-        if memory
-            .try_tier_of(victim_pfn)
-            .is_ok_and(|t| !t.is_fastest())
-        {
-            counts.tier2_writebacks += 1;
+        if let Ok(t) = memory.try_tier_of(victim_pfn) {
+            tier_bytes[t.index()] += crate::addr::LINE_SIZE;
+            if !t.is_fastest() {
+                counts.tier2_writebacks += 1;
+            }
         }
     }
 
@@ -1145,6 +1204,7 @@ impl Machine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tier::{MemTopology, TierSpec};
 
     fn small_machine() -> Machine {
         let mut m = Machine::new(MachineConfig::scaled(2, 64, 256, 64));
@@ -1453,5 +1513,97 @@ mod tests {
     fn shootdown_of_nothing_is_free() {
         let mut m = small_machine();
         assert_eq!(m.shootdown(1, &[], true), 0);
+    }
+
+    /// Machine whose fastest tier carries the given per-epoch byte budget
+    /// (`None` = the default unlimited spec), plus a strided driver that
+    /// forces sustained memory traffic.
+    fn bandwidth_machine(budget: Option<u64>) -> Machine {
+        let mut t1 = TierSpec::dram(64);
+        if let Some(b) = budget {
+            t1 = t1.with_epoch_bytes_budget(b);
+        }
+        let mut cfg = MachineConfig::scaled(1, 64, 256, 1 << 20);
+        cfg.memory = MemTopology::new(t1, TierSpec::nvm(256));
+        let mut m = Machine::new(cfg);
+        m.add_process(1);
+        m
+    }
+
+    fn stride(m: &mut Machine, ops: u64) {
+        // Walk distinct lines across 48 tier-1 pages: far beyond the
+        // scaled-down caches, so nearly every access is a demand fill.
+        for i in 0..ops {
+            let page = i % 48;
+            let line = (i / 48 * 64) % PAGE_SIZE;
+            m.exec_op(
+                0,
+                1,
+                WorkOp::Mem {
+                    va: VirtAddr(page * PAGE_SIZE + line),
+                    store: false,
+                    site: 0,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_meter_ticks_and_resets_at_the_horizon() {
+        let mut m = bandwidth_machine(None);
+        stride(&mut m, 2_000);
+        let served = m.tier_epoch_bytes(Tier::Tier1);
+        assert!(served > 0, "line fills tick the meter");
+        assert_eq!(served % crate::addr::LINE_SIZE, 0);
+        m.advance_epoch();
+        assert_eq!(m.tier_epoch_bytes(Tier::Tier1), 0, "horizon resets");
+    }
+
+    #[test]
+    fn saturated_tier_surcharges_and_unlimited_does_not() {
+        // Identical op sequences; only the budget differs. The budgeted
+        // run must be strictly slower once the meter passes the budget,
+        // and a budget the epoch never reaches must change nothing.
+        let mut unlimited = bandwidth_machine(None);
+        stride(&mut unlimited, 3_000);
+        let base_cycles = unlimited.aggregate_counts().cycles;
+
+        let mut tight = bandwidth_machine(Some(4 * crate::addr::LINE_SIZE));
+        stride(&mut tight, 3_000);
+        let tight_cycles = tight.aggregate_counts().cycles;
+        assert!(
+            tight_cycles > base_cycles,
+            "saturation surcharge must cost cycles ({tight_cycles} vs {base_cycles})"
+        );
+        assert_eq!(
+            tight.tier_epoch_bytes(Tier::Tier1),
+            unlimited.tier_epoch_bytes(Tier::Tier1),
+            "the meter itself is budget-independent"
+        );
+
+        let mut roomy = bandwidth_machine(Some(u64::MAX));
+        stride(&mut roomy, 3_000);
+        assert_eq!(
+            roomy.aggregate_counts().cycles,
+            base_cycles,
+            "an unreached budget is byte-identical to no budget"
+        );
+    }
+
+    #[test]
+    fn bandwidth_budget_windows_are_per_epoch() {
+        // Epoch 1 saturates; after the horizon the same traffic starts
+        // from a fresh meter, so the early accesses are full price again.
+        let budget = Some(16 * crate::addr::LINE_SIZE);
+        let mut m = bandwidth_machine(budget);
+        stride(&mut m, 500);
+        let first = m.aggregate_counts().cycles;
+        m.advance_epoch();
+        stride(&mut m, 500);
+        let second = m.aggregate_counts().cycles - first;
+        // Same footprint, warmer caches: the second epoch cannot be
+        // *more* surcharged than the first (and may generate no memory
+        // traffic at all once everything is cache-resident).
+        assert!(second <= first);
     }
 }

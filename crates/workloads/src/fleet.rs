@@ -1,0 +1,239 @@
+//! Multi-tenant fleet scenarios: tenant churn over the Table III
+//! generators.
+//!
+//! A fleet node's tenant population is never static: jobs spawn, burst,
+//! go idle, and exit. This module builds deterministic populations of
+//! [`TenantPlan`]s — each one a Table III workload plus an *activity
+//! pattern* over fleet epochs — for the fleet scheduler's tenant-churn
+//! benchmarks and identity proptests. The patterns reuse the shapes the
+//! HWPC gating suite exercises (sustained activity, quiet phases, bursts
+//! followed by idleness): a gated profiler and a fleet scheduler stress
+//! the same regimes, just at different scales.
+//!
+//! Tenant exit is modeled as permanent idleness: the process keeps its
+//! address space (pages stay mapped and profile-visible) but executes no
+//! further ops — exactly the quiescent-process case the gating scenarios
+//! cover, and the honest rendering of exit in a simulator whose machines
+//! never reclaim a pid.
+
+use tmprof_sim::prelude::*;
+
+use crate::spec::{WorkloadConfig, WorkloadKind};
+
+/// When a tenant runs, over fleet epochs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActivityPattern {
+    /// Active every epoch of the run.
+    Steady,
+    /// Alternates `duty` active epochs then `period - duty` idle ones
+    /// (the gating suite's burst-then-quiet shape, repeated).
+    BurstIdle {
+        /// Cycle length in epochs (>= 1).
+        period: u32,
+        /// Active epochs at the start of each cycle (<= `period`).
+        duty: u32,
+    },
+    /// Alive only in `[spawn, exit)`: idle before its spawn epoch and
+    /// permanently idle (exited) from `exit` on.
+    SpawnExit {
+        /// First active epoch.
+        spawn: u32,
+        /// First epoch after the tenant has exited.
+        exit: u32,
+    },
+}
+
+impl ActivityPattern {
+    /// Whether a tenant with this pattern runs ops in `epoch`.
+    pub fn active_in(self, epoch: u32) -> bool {
+        match self {
+            ActivityPattern::Steady => true,
+            ActivityPattern::BurstIdle { period, duty } => epoch % period.max(1) < duty,
+            ActivityPattern::SpawnExit { spawn, exit } => (spawn..exit).contains(&epoch),
+        }
+    }
+}
+
+/// One tenant of a fleet scenario: a workload, a footprint, and an
+/// activity pattern.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantPlan {
+    /// Which Table III access-pattern class the tenant runs.
+    pub workload: WorkloadKind,
+    /// Tenant footprint in 4 KiB pages.
+    pub footprint_pages: u64,
+    /// When the tenant is active.
+    pub pattern: ActivityPattern,
+    /// Generator seed (distinct per tenant for distinct streams).
+    pub seed: u64,
+}
+
+impl TenantPlan {
+    /// Per-epoch op counts over a run of `epochs`: `base_ops` in active
+    /// epochs, zero in idle ones — the shape the fleet runner consumes.
+    pub fn ops_plan(&self, epochs: u32, base_ops: u64) -> Vec<u64> {
+        (0..epochs)
+            .map(|e| {
+                if self.pattern.active_in(e) {
+                    base_ops
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Build the tenant's op stream (a single-process instance of its
+    /// workload at the planned footprint).
+    pub fn spawn_stream(&self) -> Box<dyn OpStream + Send> {
+        let cfg = WorkloadConfig {
+            kind: self.workload,
+            processes: 1,
+            footprint_pages: self.footprint_pages,
+            seed: self.seed,
+        };
+        cfg.spawn()
+            .pop()
+            // tmprof-lint: allow(panic-reachability) — spawn() returns exactly `processes` generators and processes is 1 here
+            .expect("single-process spawn yields one stream")
+    }
+}
+
+/// A deterministic tenant population with churn.
+#[derive(Clone, Debug)]
+pub struct FleetScenario {
+    /// The tenants, in shard order.
+    pub tenants: Vec<TenantPlan>,
+}
+
+impl FleetScenario {
+    /// A churning population of `n` tenants over `epochs` fleet epochs:
+    /// workload kinds round-robin through Table III, and the activity mix
+    /// cycles through the gating suite's regimes — steady runners, bursty
+    /// tenants (varied duty cycles), late spawns, and early exits — with
+    /// per-tenant parameters drawn from a seeded RNG. Same `(n, epochs,
+    /// seed)` always builds the same population.
+    pub fn churn(n: usize, epochs: u32, seed: u64) -> Self {
+        let mut rng = Rng::new(seed);
+        let horizon = epochs.max(1);
+        let tenants = (0..n)
+            .map(|i| {
+                let workload = WorkloadKind::ALL[i % WorkloadKind::ALL.len()];
+                let pattern = match i % 4 {
+                    0 => ActivityPattern::Steady,
+                    1 => {
+                        let period = 2 + rng.below(3) as u32; // 2..=4
+                        let duty = 1 + rng.below(period as u64 - 1) as u32;
+                        ActivityPattern::BurstIdle { period, duty }
+                    }
+                    2 => {
+                        // Late spawn, runs to the end.
+                        let spawn = rng.below(horizon as u64) as u32;
+                        ActivityPattern::SpawnExit {
+                            spawn,
+                            exit: horizon,
+                        }
+                    }
+                    _ => {
+                        // Early exit: spawns at 0, leaves mid-run.
+                        let exit = 1 + rng.below(horizon as u64) as u32;
+                        ActivityPattern::SpawnExit { spawn: 0, exit }
+                    }
+                };
+                TenantPlan {
+                    workload,
+                    // Small, varied footprints: fleets are many small
+                    // tenants, and the scan/migration work per tenant is
+                    // what the scheduler slices up.
+                    footprint_pages: 64 << rng.below(3), // 64 | 128 | 256
+                    pattern,
+                    seed: seed ^ (0xF1EE7 + i as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                }
+            })
+            .collect();
+        Self { tenants }
+    }
+
+    /// Tenants active in `epoch` (fleet load factor for that epoch).
+    pub fn active_in(&self, epoch: u32) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.pattern.active_in(epoch))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_cover_the_gating_regimes() {
+        assert!(ActivityPattern::Steady.active_in(0));
+        assert!(ActivityPattern::Steady.active_in(99));
+        let burst = ActivityPattern::BurstIdle { period: 3, duty: 1 };
+        assert!(burst.active_in(0));
+        assert!(!burst.active_in(1));
+        assert!(!burst.active_in(2));
+        assert!(burst.active_in(3), "bursts repeat");
+        let churn = ActivityPattern::SpawnExit { spawn: 2, exit: 4 };
+        assert!(!churn.active_in(1), "not yet spawned");
+        assert!(churn.active_in(2));
+        assert!(churn.active_in(3));
+        assert!(!churn.active_in(4), "exited tenants stay idle forever");
+        assert!(!churn.active_in(100));
+    }
+
+    #[test]
+    fn ops_plan_matches_the_pattern() {
+        let plan = TenantPlan {
+            workload: WorkloadKind::Gups,
+            footprint_pages: 64,
+            pattern: ActivityPattern::BurstIdle { period: 2, duty: 1 },
+            seed: 7,
+        };
+        assert_eq!(plan.ops_plan(5, 1000), vec![1000, 0, 1000, 0, 1000]);
+    }
+
+    #[test]
+    fn churn_scenarios_are_deterministic_and_distinct() {
+        let a = FleetScenario::churn(16, 8, 42);
+        let b = FleetScenario::churn(16, 8, 42);
+        assert_eq!(a.tenants.len(), 16);
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(x.pattern, y.pattern);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.footprint_pages, y.footprint_pages);
+        }
+        // Distinct seeds build distinct populations.
+        let c = FleetScenario::churn(16, 8, 43);
+        assert!(
+            a.tenants
+                .iter()
+                .zip(&c.tenants)
+                .any(|(x, y)| x.pattern != y.pattern || x.footprint_pages != y.footprint_pages),
+            "different seed, different churn"
+        );
+        // Streams spawn and differ across tenants.
+        let mut s0 = a.tenants[0].spawn_stream();
+        let mut s8 = a.tenants[8].spawn_stream();
+        let mut same = 0;
+        for _ in 0..64 {
+            if s0.next_op() == s8.next_op() {
+                same += 1;
+            }
+        }
+        assert!(same < 64, "tenant streams must differ");
+    }
+
+    #[test]
+    fn churn_load_factor_varies_over_the_run() {
+        let s = FleetScenario::churn(32, 8, 7);
+        let loads: Vec<usize> = (0..8).map(|e| s.active_in(e)).collect();
+        assert!(loads.iter().any(|&l| l > 0));
+        assert!(
+            loads.windows(2).any(|w| w[0] != w[1]),
+            "churn must actually change the active population: {loads:?}"
+        );
+    }
+}

@@ -25,6 +25,7 @@
 pub mod common;
 pub mod data_analytics;
 pub mod data_caching;
+pub mod fleet;
 pub mod graph500;
 pub mod graph_analytics;
 pub mod gups;
@@ -33,4 +34,5 @@ pub mod spec;
 pub mod web_serving;
 pub mod xsbench;
 
+pub use fleet::{ActivityPattern, FleetScenario, TenantPlan};
 pub use spec::{WorkloadConfig, WorkloadKind};

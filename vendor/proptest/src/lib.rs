@@ -24,6 +24,9 @@ pub mod prop {
     pub mod collection {
         pub use crate::strategy::collection::{btree_set, hash_map, hash_set, vec};
     }
+    pub mod option {
+        pub use crate::strategy::option::of;
+    }
     pub mod sample {
         pub use crate::strategy::sample::select;
     }

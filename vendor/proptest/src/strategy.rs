@@ -457,6 +457,34 @@ pub mod sample {
     }
 }
 
+// ---------- option ----------
+
+pub mod option {
+    use super::*;
+
+    /// `prop::option::of`: `None` in roughly half the cases, otherwise
+    /// `Some` of the inner strategy's value.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(2) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
